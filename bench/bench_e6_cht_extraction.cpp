@@ -1,0 +1,191 @@
+// E6 — Extracting Omega from any detector D that solves EC
+// (paper Theorem 2 necessity, Section 4 + Appendix B).
+//
+// Claim: running the generalized CHT reduction — DAG gossip, simulation
+// over DAG stimuli, k-tags, bivalent vertex, decision gadget — every
+// correct process eventually outputs the SAME CORRECT leader, for any D
+// solving EC (shown for Omega histories and for ◊P-derived histories).
+//
+// Method: run the extractor cluster until all correct estimates agree on
+// a correct process; report stabilization time, extraction rounds, and
+// DAG size. The google-benchmark section times one full tree analysis.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_util.h"
+#include "cht/extractor.h"
+
+namespace wfd::bench {
+namespace {
+
+ChtConfig extractorConfig() {
+  ChtConfig cfg;
+  cfg.limits.maxInstance = 4;
+  cfg.limits.probeSteps = 150;
+  cfg.limits.walkSteps = 10;
+  cfg.limits.hookSteps = 24;
+  cfg.maxOwnSamples = 16;
+  cfg.extractEvery = 24;
+  return cfg;
+}
+
+ProcessId lastEstimate(const Trace& trace, ProcessId p) {
+  ProcessId out = kNoProcess;
+  for (const auto& ev : trace.outputs(p)) {
+    if (const auto* est = ev.value.as<LeaderEstimate>()) out = est->leader;
+  }
+  return out;
+}
+
+struct Result {
+  bool stabilized = false;
+  ProcessId leader = kNoProcess;
+  Time stabilizedAt = 0;
+  std::size_t dagVertices = 0;
+  std::uint64_t extractions = 0;
+};
+
+Result run(std::size_t n, std::shared_ptr<const FailureDetector> detector,
+           const FailurePattern& fp, TargetFactory target, std::uint64_t seed,
+           ChtConfig chtCfg = extractorConfig()) {
+  SimConfig cfg;
+  cfg.processCount = n;
+  cfg.seed = seed;
+  cfg.maxTime = 60000;
+  cfg.timeoutPeriod = 10;
+  cfg.minDelay = 5;
+  cfg.maxDelay = 15;
+  Simulator sim(cfg, fp, std::move(detector));
+  for (ProcessId p = 0; p < n; ++p) {
+    sim.addProcess(p, std::make_unique<ChtExtractorAutomaton>(target, n, chtCfg));
+  }
+  Result r;
+  r.stabilized = sim.runUntil([&](const Simulator& s) {
+    const auto correct = s.failurePattern().correctSet();
+    const ProcessId first = lastEstimate(s.trace(), correct.front());
+    if (first == kNoProcess || !s.failurePattern().correct(first)) return false;
+    for (ProcessId p : correct) {
+      if (lastEstimate(s.trace(), p) != first) return false;
+    }
+    return true;
+  });
+  const auto correct = fp.correctSet();
+  r.leader = lastEstimate(sim.trace(), correct.front());
+  r.stabilizedAt = sim.now();
+  const auto& ex =
+      static_cast<const ChtExtractorAutomaton&>(sim.automaton(correct.front()));
+  r.dagVertices = ex.dag().vertexCount();
+  r.extractions = ex.extractionsRun();
+  return r;
+}
+
+void printTable() {
+  std::printf("E6: CHT leader extraction — all correct processes must\n"
+              "stabilize on the same correct leader\n\n");
+  Table t({"scenario", "n", "stable", "leader", "at_time", "dag_V"}, 12);
+
+  auto scenario = [&](const char* name, std::size_t n,
+                      std::shared_ptr<const FailureDetector> fd,
+                      const FailurePattern& fp, TargetFactory target,
+                      ChtConfig chtCfg = extractorConfig(),
+                      std::uint64_t seed = 1) {
+    auto r = run(n, std::move(fd), fp, std::move(target), seed, chtCfg);
+    t.row({name, std::to_string(n), r.stabilized ? "yes" : "NO",
+           r.leader == kNoProcess ? "-" : "p" + std::to_string(r.leader),
+           std::to_string(r.stabilizedAt), std::to_string(r.dagVertices)});
+  };
+
+  {
+    auto fp = FailurePattern::noFailures(2);
+    scenario("omega-stable", 2,
+             std::make_shared<OmegaFd>(fp, 0, OmegaPreStabilization::kStable), fp,
+             omegaEcTarget());
+  }
+  {
+    auto fp = FailurePattern::noFailures(3);
+    scenario("omega-stable", 3,
+             std::make_shared<OmegaFd>(fp, 0, OmegaPreStabilization::kStable), fp,
+             omegaEcTarget());
+  }
+  {
+    auto fp = FailurePattern::noFailures(2);
+    scenario("omega-late", 2,
+             std::make_shared<OmegaFd>(fp, 60, OmegaPreStabilization::kSplitBrain),
+             fp, omegaEcTarget());
+  }
+  {
+    auto fp = FailurePattern::noFailures(2);
+    scenario("diamond-P", 2, std::make_shared<EventuallyPerfectFd>(fp, 0), fp,
+             suspectBasedEcTarget());
+  }
+  {
+    // The early leader crashes: the extracted leader must be a CORRECT
+    // process (Lemmas 7/8) — the skewed probes ⊥-taint the instances the
+    // crashed leader could still decide.
+    auto fp = FailurePattern::crashesAt(3, {{0, 120}});
+    // The tainted early instances need a larger sample/instance budget:
+    // the pre-crash history must be traversable before the clean zone.
+    // Extraction under crashes is budget- and schedule-sensitive (the
+    // clean post-crash instance must fall inside maxInstance); these are
+    // the parameters the test suite demonstrates
+    // (FailureInjectionTest.ChtExtractionWithCrashedProcess).
+    ChtConfig crashCfg = extractorConfig();
+    crashCfg.maxOwnSamples = 20;
+    scenario("leader-crash", 3,
+             std::make_shared<ScriptedFd>(
+                 [](ProcessId, Time t) {
+                   FdValue v;
+                   v.leader = t < 120 ? 0 : 1;
+                   return v;
+                 },
+                 "crash-leader"),
+             fp, omegaEcTarget(), crashCfg, /*seed=*/5);
+  }
+  std::printf("\n");
+}
+
+void BM_TreeAnalysisExtraction(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  FdDag dag;
+  for (std::size_t r = 0; r < 12; ++r) {
+    for (ProcessId p = 0; p < n; ++p) {
+      FdValue v;
+      v.leader = 0;
+      dag.addSample(p, v);
+    }
+  }
+  const ChtConfig cfg = extractorConfig();
+  for (auto _ : state) {
+    TreeAnalysis analysis(dag, omegaEcTarget(), n, cfg.limits);
+    auto leader = analysis.extractLeader();
+    benchmark::DoNotOptimize(leader);
+  }
+}
+BENCHMARK(BM_TreeAnalysisExtraction)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
+
+void BM_DagUnion(benchmark::State& state) {
+  FdDag a, b;
+  for (std::size_t r = 0; r < 40; ++r) {
+    FdValue v;
+    v.leader = r % 2;
+    a.addSample(0, v);
+    b.addSample(1, v);
+  }
+  for (auto _ : state) {
+    FdDag merged = a;
+    merged.unionWith(b);
+    benchmark::DoNotOptimize(merged.vertexCount());
+  }
+}
+BENCHMARK(BM_DagUnion);
+
+}  // namespace
+}  // namespace wfd::bench
+
+int main(int argc, char** argv) {
+  wfd::bench::printTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

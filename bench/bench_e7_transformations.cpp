@@ -1,0 +1,141 @@
+// E7 — The equivalences EC ≡ ETOB (Theorem 1) and EC ≡ EIC (Theorem 3):
+// transformation stacks preserve the EC contract at constant-factor cost.
+//
+// Claim shape: direct Algorithm 4 and the stacked constructions
+// (EC -> ETOB -> EC via Algorithms 1+2, EC -> EIC -> EC via 6+7) all
+// satisfy the EC spec; the stacks pay more messages per decided instance
+// and may push the agreement index k̂ slightly later, but all converge.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_util.h"
+#include "checkers/ec_checker.h"
+#include "ec/ec_driver.h"
+#include "ec/omega_ec.h"
+#include "ec/transformations.h"
+
+namespace wfd::bench {
+namespace {
+
+constexpr Instance kInstances = 24;
+constexpr Time kTauOmega = 500;
+
+struct Result {
+  bool terminated = false;
+  Instance agreementFromK = 0;
+  double msgsPerInstance = 0;
+  Time finishedAt = 0;
+};
+
+SimConfig e7Config(std::uint64_t seed) {
+  SimConfig cfg;
+  cfg.processCount = 3;
+  cfg.seed = seed;
+  cfg.maxTime = 200000;
+  cfg.timeoutPeriod = 10;
+  cfg.minDelay = 15;
+  cfg.maxDelay = 30;
+  cfg.keepDeliverySnapshots = false;
+  return cfg;
+}
+
+template <typename MakeAutomaton>
+Result run(std::uint64_t seed, MakeAutomaton make) {
+  auto cfg = e7Config(seed);
+  auto fp = FailurePattern::noFailures(3);
+  auto omega =
+      std::make_shared<OmegaFd>(fp, kTauOmega, OmegaPreStabilization::kSplitBrain);
+  Simulator sim(cfg, fp, omega);
+  for (ProcessId p = 0; p < 3; ++p) sim.addProcess(p, make(seed));
+  Result r;
+  r.terminated = sim.runUntil([&](const Simulator& s) {
+    return checkEcRun(s.trace(), s.failurePattern()).decidedByAllCorrect >=
+           kInstances;
+  });
+  const auto report = checkEcRun(sim.trace(), fp);
+  r.agreementFromK = report.agreementFromK;
+  r.msgsPerInstance =
+      static_cast<double>(sim.trace().messagesSent()) / kInstances;
+  r.finishedAt = sim.now();
+  return r;
+}
+
+std::unique_ptr<Automaton> direct(std::uint64_t seed) {
+  return std::make_unique<EcDriverAutomaton<OmegaEcAutomaton>>(
+      OmegaEcAutomaton{}, binaryProposals(seed), kInstances);
+}
+
+std::unique_ptr<Automaton> viaEtob(std::uint64_t seed) {
+  using Stack = EtobToEcAutomaton<EcToEtobAutomaton<OmegaEcAutomaton>>;
+  return std::make_unique<EcDriverAutomaton<Stack>>(
+      Stack(EcToEtobAutomaton<OmegaEcAutomaton>(OmegaEcAutomaton{})),
+      binaryProposals(seed), kInstances);
+}
+
+std::unique_ptr<Automaton> viaEic(std::uint64_t seed) {
+  using Stack = EicToEcAutomaton<EcToEicAutomaton<OmegaEcAutomaton>>;
+  return std::make_unique<EcDriverAutomaton<Stack>>(
+      Stack(EcToEicAutomaton<OmegaEcAutomaton>(OmegaEcAutomaton{})),
+      binaryProposals(seed), kInstances);
+}
+
+void printTable() {
+  std::printf("E7: EC contract through transformation stacks (n=3,\n"
+              "tau_Omega=%llu, %llu instances; all must terminate & agree)\n\n",
+              static_cast<unsigned long long>(kTauOmega),
+              static_cast<unsigned long long>(kInstances));
+  Table t({"stack", "done", "k_hat", "msgs/inst", "sim_time"}, 16);
+  struct Named {
+    const char* name;
+    std::unique_ptr<Automaton> (*make)(std::uint64_t);
+  };
+  for (const auto& [name, make] : {Named{"EC direct (Alg4)", direct},
+                                   Named{"EC->ETOB->EC", viaEtob},
+                                   Named{"EC->EIC->EC", viaEic}}) {
+    Result sum{};
+    bool allDone = true;
+    Instance worstK = 0;
+    int runs = 0;
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+      auto r = run(seed, make);
+      allDone = allDone && r.terminated;
+      worstK = std::max(worstK, r.agreementFromK);
+      sum.msgsPerInstance += r.msgsPerInstance;
+      sum.finishedAt += r.finishedAt;
+      ++runs;
+    }
+    t.row({name, allDone ? "yes" : "NO", std::to_string(worstK),
+           fmt(sum.msgsPerInstance / runs, 1),
+           std::to_string(sum.finishedAt / runs)});
+  }
+  std::printf("\n");
+}
+
+void BM_DirectEc(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    auto r = run(seed++, direct);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_DirectEc)->Unit(benchmark::kMillisecond);
+
+void BM_EcThroughEtob(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    auto r = run(seed++, viaEtob);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_EcThroughEtob)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wfd::bench
+
+int main(int argc, char** argv) {
+  wfd::bench::printTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Shared helpers for the experiment benches: table printing and the
+// standard simulator setups used across E1..E8.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "etob/etob_automaton.h"
+#include "fd/detectors.h"
+#include "sim/simulator.h"
+#include "tob/tob_via_consensus.h"
+
+namespace wfd::bench {
+
+/// Prints a fixed-width row. Columns sized by the header call.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int colWidth = 14)
+      : width_(colWidth), cols_(headers.size()) {
+    std::string line;
+    for (const auto& h : headers) line += pad(h);
+    std::printf("%s\n", line.c_str());
+    std::printf("%s\n", std::string(width_ * cols_, '-').c_str());
+  }
+
+  void row(const std::vector<std::string>& cells) {
+    std::string line;
+    for (const auto& c : cells) line += pad(c);
+    std::printf("%s\n", line.c_str());
+  }
+
+ private:
+  std::string pad(const std::string& s) const {
+    std::string out = s;
+    if (out.size() < static_cast<std::size_t>(width_)) {
+      out += std::string(width_ - out.size(), ' ');
+    }
+    return out + " ";
+  }
+  int width_;
+  std::size_t cols_;
+};
+
+inline std::string fmt(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+/// Simulator over Omega with ETOB automata on every process.
+inline Simulator makeEtobCluster(SimConfig cfg, FailurePattern fp, Time tauOmega,
+                                 OmegaPreStabilization mode) {
+  auto omega = std::make_shared<OmegaFd>(fp, tauOmega, mode);
+  Simulator sim(cfg, std::move(fp), std::move(omega));
+  for (ProcessId p = 0; p < cfg.processCount; ++p) {
+    sim.addProcess(p, std::make_unique<EtobAutomaton>());
+  }
+  return sim;
+}
+
+/// Simulator over Omega with TOB-via-consensus automata on every process.
+inline Simulator makeTobCluster(SimConfig cfg, FailurePattern fp, Time tauOmega,
+                                OmegaPreStabilization mode) {
+  auto omega = std::make_shared<OmegaFd>(fp, tauOmega, mode);
+  Simulator sim(cfg, std::move(fp), std::move(omega));
+  for (ProcessId p = 0; p < cfg.processCount; ++p) {
+    sim.addProcess(p,
+                   std::make_unique<TobViaConsensusAutomaton>(p, cfg.processCount));
+  }
+  return sim;
+}
+
+}  // namespace wfd::bench

@@ -1,0 +1,46 @@
+// Registry of every broadcastTOB/broadcastETOB input of a run — the
+// input history H_I of the broadcast problem, against which the checkers
+// verify No-creation, Validity and Causal-order.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/app_msg.h"
+
+namespace wfd {
+
+struct BroadcastRecord {
+  MsgId id = 0;
+  ProcessId origin = kNoProcess;
+  Time broadcastAt = 0;
+  /// Declared causal dependencies C(m) (explicit ones only; protocols may
+  /// strengthen C(m) internally, which the checker need not know).
+  std::vector<MsgId> deps;
+  std::vector<std::uint64_t> body;
+};
+
+class BroadcastLog {
+ public:
+  void record(const AppMsg& m, Time at) {
+    records_.emplace(m.id, BroadcastRecord{m.id, m.origin, at, m.causalDeps, m.body});
+    order_.push_back(m.id);
+  }
+
+  const BroadcastRecord* find(MsgId id) const {
+    auto it = records_.find(id);
+    return it == records_.end() ? nullptr : &it->second;
+  }
+
+  bool contains(MsgId id) const { return records_.contains(id); }
+  std::size_t size() const { return order_.size(); }
+  const std::vector<MsgId>& ids() const { return order_; }
+
+ private:
+  std::unordered_map<MsgId, BroadcastRecord> records_;
+  std::vector<MsgId> order_;
+};
+
+}  // namespace wfd

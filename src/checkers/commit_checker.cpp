@@ -1,0 +1,70 @@
+#include "checkers/commit_checker.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "etob/commit_etob.h"
+
+namespace wfd {
+
+CommitCheckReport checkCommitSafety(const Trace& trace,
+                                    const FailurePattern& pattern) {
+  CommitCheckReport report;
+  std::uint64_t minFinalLen = 0;
+  bool sawAny = false;
+
+  for (ProcessId p = 0; p < trace.processCount(); ++p) {
+    if (!pattern.correct(p)) continue;
+    const auto& snapshots = trace.deliverySnapshots(p);
+    std::uint64_t lastLen = 0;
+
+    for (const OutputEvent& ev : trace.outputs(p)) {
+      const auto* commit = ev.value.as<CommittedPrefix>();
+      if (commit == nullptr) continue;
+      ++report.indications;
+      lastLen = std::max(lastLen, commit->length);
+
+      // d_i at indication time: last snapshot at time <= ev.time.
+      const std::vector<MsgId>* at = nullptr;
+      for (const DeliverySnapshot& snap : snapshots) {
+        if (snap.time <= ev.time) {
+          at = &snap.seq;
+        } else {
+          break;
+        }
+      }
+      if (at == nullptr || at->size() < commit->length) {
+        std::ostringstream os;
+        os << "commit: p" << p << " indicated length " << commit->length
+           << " at t=" << ev.time << " but d_i was shorter";
+        report.errors.push_back(os.str());
+        ++report.revokedCommits;
+        continue;
+      }
+      const std::vector<MsgId> prefix(at->begin(), at->begin() + commit->length);
+      // Every later snapshot must preserve the prefix verbatim.
+      for (const DeliverySnapshot& snap : snapshots) {
+        if (snap.time < ev.time) continue;
+        const bool ok =
+            snap.seq.size() >= prefix.size() &&
+            std::equal(prefix.begin(), prefix.end(), snap.seq.begin());
+        if (!ok) {
+          std::ostringstream os;
+          os << "commit: prefix of length " << commit->length << " committed at p"
+             << p << " (t=" << ev.time << ") changed at t=" << snap.time;
+          report.errors.push_back(os.str());
+          ++report.revokedCommits;
+          break;
+        }
+      }
+    }
+    if (lastLen > 0) {
+      minFinalLen = sawAny ? std::min(minFinalLen, lastLen) : lastLen;
+      sawAny = true;
+    }
+  }
+  report.committedLenAllCorrect = sawAny ? minFinalLen : 0;
+  return report;
+}
+
+}  // namespace wfd

@@ -1,0 +1,134 @@
+#include "checkers/ec_checker.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "ec/ec_types.h"
+
+namespace wfd {
+namespace {
+
+/// Per-instance proposal sets and per-(process, instance) response lists
+/// extracted from trace outputs.
+struct DecisionHistory {
+  std::map<Instance, std::set<Value>> proposals;
+  // responses[p][l] = responses of p to instance l, in output order.
+  std::vector<std::map<Instance, std::vector<Value>>> responses;
+};
+
+template <typename DecisionT>
+DecisionHistory extract(const Trace& trace) {
+  DecisionHistory h;
+  h.responses.resize(trace.processCount());
+  for (ProcessId p = 0; p < trace.processCount(); ++p) {
+    for (const OutputEvent& ev : trace.outputs(p)) {
+      if (const auto* prop = ev.value.as<ProposalMade>()) {
+        h.proposals[prop->instance].insert(prop->value);
+      } else if (const auto* dec = ev.value.as<DecisionT>()) {
+        h.responses[p][dec->instance].push_back(dec->value);
+      }
+    }
+  }
+  return h;
+}
+
+/// Largest L such that every correct process has (at least) one response
+/// for every instance in 1..L.
+Instance contiguousDecided(const DecisionHistory& h, const FailurePattern& pattern) {
+  Instance best = 0;
+  for (Instance l = 1;; ++l) {
+    for (ProcessId p = 0; p < h.responses.size(); ++p) {
+      if (!pattern.correct(p)) continue;
+      auto it = h.responses[p].find(l);
+      if (it == h.responses[p].end() || it->second.empty()) return best;
+    }
+    best = l;
+  }
+}
+
+}  // namespace
+
+EcCheckReport checkEcRun(const Trace& trace, const FailurePattern& pattern) {
+  EcCheckReport report;
+  const DecisionHistory h = extract<EcDecision>(trace);
+
+  Instance lastDisagreement = 0;
+  std::map<Instance, std::pair<ProcessId, Value>> firstResponse;
+  for (ProcessId p = 0; p < h.responses.size(); ++p) {
+    for (const auto& [l, values] : h.responses[p]) {
+      // EC-Integrity: at most one response per instance per process.
+      if (values.size() > 1) {
+        std::ostringstream os;
+        os << "EC-integrity: p" << p << " responded " << values.size()
+           << " times to instance " << l;
+        report.integrityOk = false;
+        report.errors.push_back(os.str());
+      }
+      for (const Value& v : values) {
+        // EC-Validity: the value was proposed for this instance.
+        auto props = h.proposals.find(l);
+        if (props == h.proposals.end() || !props->second.contains(v)) {
+          std::ostringstream os;
+          os << "EC-validity: p" << p << " decided an unproposed value in instance "
+             << l;
+          report.validityOk = false;
+          report.errors.push_back(os.str());
+        }
+        // EC-Agreement witness: track cross-process disagreement.
+        auto [it, inserted] = firstResponse.try_emplace(l, p, v);
+        if (!inserted && it->second.second != v) {
+          lastDisagreement = std::max(lastDisagreement, l);
+        }
+      }
+    }
+  }
+  report.agreementFromK = lastDisagreement + 1;
+  report.decidedByAllCorrect = contiguousDecided(h, pattern);
+  return report;
+}
+
+EicCheckReport checkEicRun(const Trace& trace, const FailurePattern& pattern) {
+  EicCheckReport report;
+  const DecisionHistory h = extract<EicDecision>(trace);
+
+  Instance lastRevision = 0;
+  for (ProcessId p = 0; p < h.responses.size(); ++p) {
+    for (const auto& [l, values] : h.responses[p]) {
+      if (values.size() > 1) lastRevision = std::max(lastRevision, l);
+      for (const Value& v : values) {
+        auto props = h.proposals.find(l);
+        if (props == h.proposals.end() || !props->second.contains(v)) {
+          std::ostringstream os;
+          os << "EIC-validity: p" << p
+             << " responded with an unproposed value in instance " << l;
+          report.validityOk = false;
+          report.errors.push_back(os.str());
+        }
+      }
+    }
+  }
+  report.integrityFromK = lastRevision + 1;
+
+  // Final-response agreement per instance across correct processes.
+  std::map<Instance, std::pair<ProcessId, Value>> finals;
+  for (ProcessId p = 0; p < h.responses.size(); ++p) {
+    if (!pattern.correct(p)) continue;
+    for (const auto& [l, values] : h.responses[p]) {
+      if (values.empty()) continue;
+      auto [it, inserted] = finals.try_emplace(l, p, values.back());
+      if (!inserted && it->second.second != values.back()) {
+        std::ostringstream os;
+        os << "EIC-agreement: final responses of p" << it->second.first << " and p"
+           << p << " differ in instance " << l;
+        report.finalAgreementOk = false;
+        report.errors.push_back(os.str());
+      }
+    }
+  }
+  report.decidedByAllCorrect = contiguousDecided(h, pattern);
+  return report;
+}
+
+}  // namespace wfd

@@ -1,0 +1,57 @@
+// Verifiers for the eventual consensus (EC) and eventual irrevocable
+// consensus (EIC) specifications over a run trace.
+//
+// Drivers record every proposal as a ProposalMade output and every
+// response as an EcDecision / EicDecision output; the checkers replay
+// those histories:
+//   EC  — Termination, Integrity (always), Validity (always), Agreement
+//         from some finite instance k̂ (reported).
+//   EIC — Termination, Validity, eventual Integrity (no revisions from
+//         some instance k̂), Agreement on final responses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/failure_pattern.h"
+#include "sim/trace.h"
+
+namespace wfd {
+
+struct EcCheckReport {
+  bool integrityOk = true;  // at most one response per instance per process
+  bool validityOk = true;   // every response was proposed for that instance
+  /// Largest L such that every correct process responded to all of 1..L.
+  Instance decidedByAllCorrect = 0;
+  /// Smallest k̂ such that all instances >= k̂ (that anyone decided) agree.
+  /// 1 means agreement held from the first instance.
+  Instance agreementFromK = 1;
+  std::vector<std::string> errors;
+
+  bool terminationOk(Instance expected) const {
+    return decidedByAllCorrect >= expected;
+  }
+};
+
+EcCheckReport checkEcRun(const Trace& trace, const FailurePattern& pattern);
+
+struct EicCheckReport {
+  bool validityOk = true;
+  /// Largest L such that every correct process responded (at least once)
+  /// to all of 1..L.
+  Instance decidedByAllCorrect = 0;
+  /// Smallest k̂ such that no process revised any instance >= k̂.
+  Instance integrityFromK = 1;
+  /// True iff the FINAL responses of correct processes agree per instance.
+  bool finalAgreementOk = true;
+  std::vector<std::string> errors;
+
+  bool terminationOk(Instance expected) const {
+    return decidedByAllCorrect >= expected;
+  }
+};
+
+EicCheckReport checkEicRun(const Trace& trace, const FailurePattern& pattern);
+
+}  // namespace wfd

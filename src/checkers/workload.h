@@ -1,0 +1,36 @@
+// Workload generation and convergence predicates shared by tests,
+// examples and benches.
+#pragma once
+
+#include <cstdint>
+
+#include "checkers/broadcast_log.h"
+#include "sim/simulator.h"
+
+namespace wfd {
+
+/// A broadcast workload: each process broadcasts `perProcess` messages,
+/// starting at `start`, one every `interval` ticks.
+struct BroadcastWorkload {
+  Time start = 50;
+  Time interval = 40;
+  std::size_t perProcess = 5;
+  /// If true each message declares a causal dependency on the previous
+  /// message of the same origin (a per-origin chain).
+  bool causalChainPerOrigin = false;
+  /// If true message i of p additionally depends on message i of p-1
+  /// (a cross-process causal lattice; needs interval staggering to be
+  /// realistic, the generator staggers origins by interval/n).
+  bool crossProcessDeps = false;
+};
+
+/// Schedules the workload into `sim` (skipping processes already crashed
+/// at their slot) and returns the broadcast log for checking.
+BroadcastLog scheduleBroadcastWorkload(Simulator& sim, const BroadcastWorkload& w);
+
+/// True iff every correct process's current d_i contains every message of
+/// the log broadcast by a correct process, and all correct processes'
+/// sequences are identical.
+bool broadcastConverged(const Simulator& sim, const BroadcastLog& log);
+
+}  // namespace wfd

@@ -1,0 +1,52 @@
+#include "cht/extractor.h"
+
+namespace wfd {
+
+ChtExtractorAutomaton::ChtExtractorAutomaton(TargetFactory factory,
+                                             std::size_t processCount,
+                                             ChtConfig config)
+    : factory_(std::move(factory)), processCount_(processCount), config_(config) {}
+
+void ChtExtractorAutomaton::onMessage(const StepContext&, ProcessId,
+                                      const Payload& msg, Effects&) {
+  const auto* gossip = msg.as<DagGossipMsg>();
+  if (gossip == nullptr) return;
+  const std::size_t before = dag_.vertexCount() + dag_.edgeCount();
+  dag_.unionWith(gossip->dag);
+  if (dag_.vertexCount() + dag_.edgeCount() != before) {
+    dagChangedSinceGossip_ = true;
+  }
+}
+
+void ChtExtractorAutomaton::onTimeout(const StepContext& ctx, Effects& fx) {
+  // Communication task (Figure 1): sample D, grow the DAG, gossip it.
+  if (ownSamples_ < config_.maxOwnSamples) {
+    dag_.addSample(ctx.self, ctx.fd);
+    ++ownSamples_;
+    dagChangedSinceGossip_ = true;
+  }
+  if (dagChangedSinceGossip_) {
+    fx.broadcast(Payload::of(DagGossipMsg{dag_}));
+    dagChangedSinceGossip_ = false;
+  }
+  // Computation task (Figure 6): periodic extraction.
+  if (++lambdasSinceExtract_ >= config_.extractEvery && dag_.vertexCount() > 0) {
+    lambdasSinceExtract_ = 0;
+    extract(ctx, fx);
+  }
+}
+
+void ChtExtractorAutomaton::extract(const StepContext& ctx, Effects& fx) {
+  ++extractions_;
+  TreeAnalysis analysis(dag_, factory_, processCount_, config_.limits);
+  // Initially (and whenever no gadget is locatable yet) a process elects
+  // itself, as in Figure 6's initialization.
+  const ProcessId leader = analysis.extractLeader().value_or(
+      estimate_ == kNoProcess ? ctx.self : estimate_);
+  if (leader != estimate_) {
+    estimate_ = leader;
+    fx.output(Payload::of(LeaderEstimate{leader}));
+  }
+}
+
+}  // namespace wfd

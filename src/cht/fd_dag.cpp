@@ -1,0 +1,105 @@
+#include "cht/fd_dag.h"
+
+#include <algorithm>
+
+#include "common/ensure.h"
+
+namespace wfd {
+
+std::size_t FdDag::addSample(ProcessId p, const FdValue& d) {
+  if (queryCount_.size() <= p) queryCount_.resize(p + 1, 0);
+  DagVertex v{p, d, ++queryCount_[p]};
+  // Query counters are local, but a union may have imported a vertex of p
+  // with a higher k (from p's own, more advanced DAG). Skip forward.
+  while (index_.contains(v)) v.k = ++queryCount_[p];
+
+  const std::size_t idx = vertices_.size();
+  vertices_.push_back(v);
+  index_.emplace(v, idx);
+  succs_.emplace_back();
+  // Edges from every existing vertex to the new one (Figure 1).
+  for (std::size_t u = 0; u < idx; ++u) {
+    if (succs_[u].insert(static_cast<std::uint32_t>(idx)).second) ++edgeCount_;
+  }
+  return idx;
+}
+
+void FdDag::unionWith(const FdDag& other) {
+  // Map other's indices to ours, inserting missing vertices.
+  std::vector<std::size_t> map(other.vertices_.size());
+  for (std::size_t i = 0; i < other.vertices_.size(); ++i) {
+    const DagVertex& v = other.vertices_[i];
+    auto it = index_.find(v);
+    if (it != index_.end()) {
+      map[i] = it->second;
+      continue;
+    }
+    map[i] = vertices_.size();
+    vertices_.push_back(v);
+    index_.emplace(v, map[i]);
+    succs_.emplace_back();
+  }
+  for (std::size_t i = 0; i < other.succs_.size(); ++i) {
+    for (std::uint32_t j : other.succs_[i]) {
+      if (succs_[map[i]].insert(static_cast<std::uint32_t>(map[j])).second) {
+        ++edgeCount_;
+      }
+    }
+  }
+}
+
+std::uint64_t FdDag::localQueryCount(ProcessId p) const {
+  return p < queryCount_.size() ? queryCount_[p] : 0;
+}
+
+std::vector<std::size_t> FdDag::canonicalOrder() const {
+  std::vector<std::size_t> order(vertices_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    return vertices_[a] < vertices_[b];
+  });
+  return order;
+}
+
+bool FdDag::sameAs(const FdDag& other) const {
+  if (vertices_.size() != other.vertices_.size() || edgeCount_ != other.edgeCount_) {
+    return false;
+  }
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    auto it = other.index_.find(vertices_[i]);
+    if (it == other.index_.end()) return false;
+    const std::size_t oi = it->second;
+    if (succs_[i].size() != other.succs_[oi].size()) return false;
+    for (std::uint32_t j : succs_[i]) {
+      auto jt = other.index_.find(vertices_[j]);
+      if (jt == other.index_.end()) return false;
+      if (!other.succs_[oi].contains(static_cast<std::uint32_t>(jt->second))) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+DagReach::DagReach(const FdDag& dag) {
+  const std::size_t n = dag.vertexCount();
+  closure_.assign(n, std::vector<bool>(n, false));
+  // Vertices in (k, q, d)-canonical order are not necessarily topological;
+  // run a BFS per vertex (n is small: bounded by the extractor's sample
+  // caps).
+  for (std::size_t s = 0; s < n; ++s) {
+    std::vector<std::size_t> stack{s};
+    while (!stack.empty()) {
+      const std::size_t u = stack.back();
+      stack.pop_back();
+      for (std::uint32_t v : dag.succs_[u]) {
+        if (!closure_[s][v]) {
+          closure_[s][v] = true;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace wfd

@@ -1,0 +1,429 @@
+#include "cht/simulation_tree.h"
+
+#include <algorithm>
+
+#include "common/ensure.h"
+#include "ec/ec_types.h"
+
+namespace wfd {
+
+SimConfigState::SimConfigState(const TargetFactory& factory,
+                               std::size_t processCount) {
+  procs_.reserve(processCount);
+  for (ProcessId p = 0; p < processCount; ++p) {
+    Proc proc;
+    proc.automaton = factory(p, processCount);
+    procs_.push_back(std::move(proc));
+  }
+}
+
+SimConfigState::SimConfigState(const SimConfigState& other)
+    : buffer_(other.buffer_),
+      nextUid_(other.nextUid_),
+      depth_(other.depth_),
+      lastVertex_(other.lastVertex_),
+      responses_(other.responses_),
+      respondedBy_(other.respondedBy_),
+      disagreement_(other.disagreement_) {
+  procs_.reserve(other.procs_.size());
+  for (const Proc& p : other.procs_) {
+    Proc copy;
+    copy.automaton = p.automaton->clone();
+    copy.proposed = p.proposed;
+    copy.pendingPropose = p.pendingPropose;
+    copy.lastDagK = p.lastDagK;
+    procs_.push_back(std::move(copy));
+  }
+}
+
+bool SimConfigState::hasPendingMessage(ProcessId p) const {
+  return std::any_of(buffer_.begin(), buffer_.end(),
+                     [p](const Pending& m) { return m.to == p; });
+}
+
+std::uint64_t SimConfigState::oldestMessageUid(ProcessId p) const {
+  std::uint64_t best = 0;
+  for (const Pending& m : buffer_) {
+    if (m.to == p && (best == 0 || m.uid < best)) best = m.uid;
+  }
+  return best;
+}
+
+const std::set<std::uint64_t>& SimConfigState::responses(Instance k) const {
+  static const std::set<std::uint64_t> kEmpty;
+  auto it = responses_.find(k);
+  return it == responses_.end() ? kEmpty : it->second;
+}
+
+bool SimConfigState::disagreement(Instance k) const {
+  return disagreement_.contains(k);
+}
+
+void SimConfigState::advanceDagCursor(ProcessId q, std::uint64_t minK) {
+  procs_[q].lastDagK = std::max(procs_[q].lastDagK, minK);
+}
+
+bool SimConfigState::allResponded(Instance k,
+                                  const std::vector<ProcessId>& procs) const {
+  auto it = respondedBy_.find(k);
+  if (it == respondedBy_.end()) return false;
+  for (ProcessId p : procs) {
+    if (!it->second.contains(p)) return false;
+  }
+  return true;
+}
+
+void SimConfigState::apply(const FdDag& dag, const StepDescriptor& step,
+                           Instance maxInstance) {
+  Proc& proc = procs_[step.proc];
+  const DagVertex& vertex = dag.vertex(step.vertexIdx);
+  WFD_ENSURE(vertex.q == step.proc);
+  WFD_ENSURE(vertex.k > proc.lastDagK);
+
+  StepContext ctx;
+  ctx.now = ++depth_;
+  ctx.self = step.proc;
+  ctx.processCount = procs_.size();
+  ctx.fd = vertex.d;
+
+  Effects fx;
+  switch (step.action) {
+    case StepAction::kProposeZero:
+    case StepAction::kProposeOne: {
+      WFD_ENSURE(proc.pendingPropose);
+      const std::uint64_t v = step.action == StepAction::kProposeOne ? 1 : 0;
+      proc.pendingPropose = false;
+      proc.proposed += 1;
+      proc.automaton->onInput(ctx, Payload::of(ProposeInput{proc.proposed, Value{v}}),
+                              fx);
+      break;
+    }
+    case StepAction::kDeliverOldest: {
+      auto it = std::find_if(buffer_.begin(), buffer_.end(), [&](const Pending& m) {
+        return m.to == step.proc && m.uid == step.msgUid;
+      });
+      WFD_ENSURE_MSG(it != buffer_.end(), "hook step consumed a vanished message");
+      Pending msg = std::move(*it);
+      buffer_.erase(it);
+      proc.automaton->onMessage(ctx, msg.from, msg.payload, fx);
+      break;
+    }
+    case StepAction::kLambda:
+      proc.automaton->onTimeout(ctx, fx);
+      break;
+  }
+  proc.lastDagK = vertex.k;
+  lastVertex_ = step.vertexIdx;
+
+  // Apply effects: sends into the buffer; EC decisions into the response
+  // history (and arm the next proposal, the paper's "as soon as").
+  for (const OutboundMsg& out : fx.sends()) {
+    const auto push = [&](ProcessId dest) {
+      buffer_.push_back(Pending{dest, step.proc, out.payload, nextUid_++});
+    };
+    if (out.to == kBroadcast) {
+      for (ProcessId dest = 0; dest < procs_.size(); ++dest) push(dest);
+    } else {
+      push(out.to);
+    }
+  }
+  for (const Payload& out : fx.outputs()) {
+    const auto* decision = out.as<EcDecision>();
+    if (decision == nullptr) continue;
+    const std::uint64_t value = decision->value.empty() ? 0 : decision->value[0];
+    auto& vals = responses_[decision->instance];
+    vals.insert(value);
+    respondedBy_[decision->instance].insert(step.proc);
+    if (vals.size() > 1) disagreement_.insert(decision->instance);
+    if (decision->instance == proc.proposed && proc.proposed < maxInstance) {
+      proc.pendingPropose = true;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+TreeAnalysis::TreeAnalysis(const FdDag& dag, TargetFactory factory,
+                           std::size_t processCount, TreeLimits limits)
+    : dag_(dag),
+      reach_(dag),
+      factory_(std::move(factory)),
+      processCount_(processCount),
+      limits_(limits) {
+  perProc_.resize(processCount_);
+  maxK_.assign(processCount_, 0);
+  for (std::size_t i : dag_.canonicalOrder()) {
+    const ProcessId q = dag_.vertex(i).q;
+    if (q < processCount_) {
+      perProc_[q].push_back(i);
+      maxK_[q] = std::max(maxK_[q], dag_.vertex(i).k);
+    }
+  }
+  for (ProcessId p = 0; p < processCount_; ++p) {
+    if (!perProc_[p].empty()) active_.push_back(p);
+  }
+}
+
+std::optional<std::size_t> TreeAnalysis::eligibleVertex(
+    const SimConfigState& config, ProcessId q, const FdValue* differentFrom) const {
+  // Smallest (canonical order) vertex of q with a fresh query index,
+  // reachable from the schedule's last vertex. perProc_ is sorted by
+  // (k, q, d), so the first match is the canonical choice.
+  for (std::size_t i : perProc_[q]) {
+    const DagVertex& v = dag_.vertex(i);
+    if (v.k <= config.lastDagK(q)) continue;
+    if (config.lastVertex().has_value() && *config.lastVertex() != i &&
+        !reach_.reaches(*config.lastVertex(), i)) {
+      continue;
+    }
+    if (differentFrom != nullptr && v.d == *differentFrom) continue;
+    return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<StepDescriptor> TreeAnalysis::canonicalStep(
+    const SimConfigState& config, ProcessId q, std::uint64_t proposeValue,
+    bool preferLambda) const {
+  auto vertex = eligibleVertex(config, q);
+  if (!vertex.has_value()) return std::nullopt;
+  StepDescriptor step;
+  step.proc = q;
+  step.vertexIdx = *vertex;
+  if (config.pendingPropose(q)) {
+    step.action =
+        proposeValue == 1 ? StepAction::kProposeOne : StepAction::kProposeZero;
+  } else if (config.hasPendingMessage(q) && !preferLambda) {
+    step.action = StepAction::kDeliverOldest;
+    step.msgUid = config.oldestMessageUid(q);
+  } else {
+    step.action = StepAction::kLambda;
+  }
+  return step;
+}
+
+TreeAnalysis::ProbeOutcome TreeAnalysis::probe(
+    const SimConfigState& config, Instance k,
+    const std::function<std::uint64_t(ProcessId)>& inputOf,
+    ProcessId lateProc, std::uint64_t lateMinK) const {
+  SimConfigState state(config);
+  if (lateProc != kNoProcess && lateProc < processCount_) {
+    state.advanceDagCursor(lateProc, lateMinK);
+  }
+  ProbeOutcome outcome;
+  std::size_t rr = 0;
+  std::size_t idleRounds = 0;
+  std::vector<bool> justDelivered(processCount_, false);
+  for (std::size_t steps = 0; steps < limits_.probeSteps; ++steps) {
+    if (active_.empty()) break;
+    const ProcessId q = active_[rr % active_.size()];
+    ++rr;
+    auto step = canonicalStep(state, q, inputOf(q), justDelivered[q]);
+    if (!step.has_value()) {
+      if (++idleRounds >= active_.size()) break;  // DAG exhausted everywhere
+      continue;
+    }
+    idleRounds = 0;
+    justDelivered[q] = step->action == StepAction::kDeliverOldest;
+    state.apply(dag_, *step, limits_.maxInstance);
+    if (state.allResponded(k, active_) || state.disagreement(k)) break;
+  }
+  outcome.values = state.responses(k);
+  outcome.disagreement = state.disagreement(k);
+  return outcome;
+}
+
+KTag TreeAnalysis::tag(const SimConfigState& config, Instance k) const {
+  KTag t;
+  if (!config.enabled(k)) return t;
+  // Responses already in the schedule itself count as descendants' too.
+  const auto fold = [&t](const ProbeOutcome& o) {
+    for (std::uint64_t v : o.values) {
+      if (v == 0) t.has0 = true;
+      if (v == 1) t.has1 = true;
+    }
+    t.hasBot = t.hasBot || o.disagreement;
+  };
+  fold(probe(config, k, [](ProcessId) { return 0; }));
+  fold(probe(config, k, [](ProcessId) { return 1; }));
+  // Mixed probes: distinct inputs per process witness ⊥ exactly when the
+  // sampled history still lets instance k disagree. The skewed variants
+  // (one process consuming only late samples) cover histories where the
+  // early and late failure-detector values elect different deciders —
+  // e.g. a leader that crashes mid-history. The limit tree contains all
+  // these schedules; the probes sample the decisive ones.
+  const auto mixed = [](ProcessId p) { return p % 2; };
+  fold(probe(config, k, mixed));
+  // Two skew depths per process: half-history and deep tail — a crash (or
+  // any value change) anywhere in the sampled history lands in one of the
+  // two late regions.
+  for (ProcessId late : active_) {
+    if (t.hasBot) break;  // one witness suffices
+    fold(probe(config, k, mixed, late, maxK_[late] / 2));
+  }
+  for (ProcessId late : active_) {
+    if (t.hasBot) break;
+    const std::uint64_t deep = maxK_[late] > 6 ? maxK_[late] - 4 : maxK_[late] / 2;
+    fold(probe(config, k, mixed, late, deep));
+  }
+  return t;
+}
+
+std::optional<std::pair<SimConfigState, Instance>> TreeAnalysis::findBivalent()
+    const {
+  if (active_.empty()) return std::nullopt;
+  // Executable Algorithm 3: test the canonical all-zero schedule prefix
+  // enabling each instance in turn; the first instance whose tag is
+  // {0, 1} (no ⊥) yields the bivalent vertex.
+  SimConfigState state(factory_, processCount_);
+  std::vector<bool> justDelivered(processCount_, false);
+  for (Instance k = 1; k <= limits_.maxInstance; ++k) {
+    // Advance until k is enabled (responses to k-1 exist).
+    std::size_t rr = 0;
+    std::size_t idleRounds = 0;
+    std::size_t guard = 0;
+    while (!state.enabled(k) && guard++ < limits_.probeSteps) {
+      const ProcessId q = active_[rr % active_.size()];
+      ++rr;
+      auto step = canonicalStep(state, q, 0, justDelivered[q]);
+      if (!step.has_value()) {
+        if (++idleRounds >= active_.size()) return std::nullopt;
+        continue;
+      }
+      idleRounds = 0;
+      justDelivered[q] = step->action == StepAction::kDeliverOldest;
+      state.apply(dag_, *step, limits_.maxInstance);
+    }
+    if (!state.enabled(k)) return std::nullopt;
+    const KTag t = tag(state, k);
+    if (t.bivalent()) {
+      return std::make_pair(SimConfigState(state), k);
+    }
+    // ⊥ or univalent: move on — the schedule keeps extending, mirroring
+    // Algorithm 3's descent through σ1, σ2 to a later instance.
+  }
+  return std::nullopt;
+}
+
+std::vector<StepDescriptor> TreeAnalysis::childSteps(
+    const SimConfigState& config) const {
+  std::vector<StepDescriptor> out;
+  for (ProcessId q : active_) {
+    auto first = eligibleVertex(config, q);
+    if (!first.has_value()) continue;
+    std::vector<std::size_t> verts{*first};
+    // A second vertex with a DIFFERENT failure-detector value enables
+    // forks that branch on d (Figure 3a).
+    const FdValue& d0 = dag_.vertex(*first).d;
+    if (auto second = eligibleVertex(config, q, &d0)) verts.push_back(*second);
+    for (std::size_t v : verts) {
+      if (config.pendingPropose(q)) {
+        out.push_back(StepDescriptor{q, v, StepAction::kProposeZero, 0});
+        out.push_back(StepDescriptor{q, v, StepAction::kProposeOne, 0});
+      } else if (config.hasPendingMessage(q)) {
+        out.push_back(StepDescriptor{q, v, StepAction::kDeliverOldest,
+                                     config.oldestMessageUid(q)});
+      } else {
+        out.push_back(StepDescriptor{q, v, StepAction::kLambda, 0});
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<DecisionGadget> TreeAnalysis::findGadget(const SimConfigState& start,
+                                                       Instance k) const {
+  SimConfigState state(start);
+  for (std::size_t walked = 0; walked < limits_.walkSteps; ++walked) {
+    const std::vector<StepDescriptor> steps = childSteps(state);
+    if (steps.empty()) return std::nullopt;
+
+    struct Child {
+      StepDescriptor step;
+      KTag tag;
+    };
+    std::vector<Child> children;
+    children.reserve(steps.size());
+    for (const StepDescriptor& s : steps) {
+      SimConfigState next(state);
+      next.apply(dag_, s, limits_.maxInstance);
+      children.push_back(Child{s, tag(next, k)});
+    }
+
+    // Fork (Figure 3a): two steps of the same process from this pivot
+    // with opposite univalent tags.
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      for (std::size_t j = i + 1; j < children.size(); ++j) {
+        if (children[i].step.proc != children[j].step.proc) continue;
+        if (children[i].tag.univalent() && children[j].tag.univalent() &&
+            children[i].tag.value() != children[j].tag.value()) {
+          return DecisionGadget{DecisionGadget::Kind::kFork,
+                                children[i].step.proc, state.depth(), k};
+        }
+      }
+    }
+
+    // Keep walking through a bivalent child if one exists (Figure 4).
+    auto bivalentChild =
+        std::find_if(children.begin(), children.end(),
+                     [](const Child& c) { return c.tag.bivalent(); });
+    if (bivalentChild != children.end()) {
+      state.apply(dag_, bivalentChild->step, limits_.maxInstance);
+      continue;
+    }
+
+    // Stuck: bivalent pivot, no bivalent child — a hook must exist
+    // (Figure 5, case 2). Take the canonical first univalent child step e
+    // (valency x) and walk a fair completion FREEZING e's process, toward
+    // inputs of the opposite valency, re-testing e at each node until its
+    // valency flips.
+    auto designated = std::find_if(children.begin(), children.end(),
+                                   [](const Child& c) { return c.tag.univalent(); });
+    if (designated == children.end()) return std::nullopt;  // all ⊥ — give up
+    const StepDescriptor e = designated->step;
+    const std::uint64_t x = designated->tag.value();
+    const std::uint64_t want = 1 - x;
+
+    SimConfigState frozen(state);
+    std::size_t rr = 0;
+    std::size_t idleRounds = 0;
+    std::vector<bool> justDelivered(processCount_, false);
+    for (std::size_t h = 0; h < limits_.hookSteps; ++h) {
+      const ProcessId q = active_[rr % active_.size()];
+      ++rr;
+      if (q == e.proc) continue;  // e's process takes no steps (Lemma 8)
+      auto step = canonicalStep(frozen, q, want, justDelivered[q]);
+      if (!step.has_value()) {
+        if (++idleRounds >= active_.size()) break;
+        continue;
+      }
+      idleRounds = 0;
+      justDelivered[q] = step->action == StepAction::kDeliverOldest;
+      // The frozen walk must keep e applicable: it may not consume e's
+      // message (e's process is frozen, so only e.proc could — skipped).
+      frozen.apply(dag_, *step, limits_.maxInstance);
+      // Transitivity (paper property (3) via reachability) keeps e's
+      // vertex usable along the whole path.
+      if (dag_.vertex(e.vertexIdx).k <= frozen.lastDagK(e.proc)) break;
+      SimConfigState probeCfg(frozen);
+      probeCfg.apply(dag_, e, limits_.maxInstance);
+      const KTag t = tag(probeCfg, k);
+      if (t.univalent() && t.value() == want) {
+        return DecisionGadget{DecisionGadget::Kind::kHook, e.proc, state.depth(), k};
+      }
+      if (t.invalid()) break;
+    }
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::optional<ProcessId> TreeAnalysis::extractLeader() const {
+  auto bivalent = findBivalent();
+  if (!bivalent.has_value()) return std::nullopt;
+  auto gadget = findGadget(bivalent->first, bivalent->second);
+  if (!gadget.has_value()) return std::nullopt;
+  return gadget->decidingProcess;
+}
+
+}  // namespace wfd

@@ -1,0 +1,159 @@
+// Generic small directed graph keyed by node values.
+//
+// Used by the ETOB causality graph (nodes = application messages) and by
+// tests. Nodes are stored in insertion order, which gives every algorithm
+// on top a deterministic iteration order.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ensure.h"
+
+namespace wfd {
+
+/// Directed graph over values of type T (T must be hashable and
+/// equality-comparable). Parallel edges are collapsed; self-loops rejected.
+template <typename T>
+class Digraph {
+ public:
+  /// Adds a node if not present. Returns true if newly inserted.
+  bool addNode(const T& node) {
+    if (index_.contains(node)) return false;
+    index_.emplace(node, nodes_.size());
+    nodes_.push_back(node);
+    preds_.emplace_back();
+    succs_.emplace_back();
+    return true;
+  }
+
+  /// Adds an edge from -> to (inserting missing endpoints).
+  /// Returns true if the edge is new. Self-loops are invariant errors.
+  bool addEdge(const T& from, const T& to) {
+    WFD_ENSURE_MSG(!(from == to), "self-loop in Digraph");
+    addNode(from);
+    addNode(to);
+    const std::size_t f = index_.at(from);
+    const std::size_t t = index_.at(to);
+    if (!succs_[f].insert(t).second) return false;
+    preds_[t].insert(f);
+    ++edgeCount_;
+    return true;
+  }
+
+  bool hasNode(const T& node) const { return index_.contains(node); }
+
+  bool hasEdge(const T& from, const T& to) const {
+    auto f = index_.find(from);
+    auto t = index_.find(to);
+    if (f == index_.end() || t == index_.end()) return false;
+    return succs_[f->second].contains(t->second);
+  }
+
+  std::size_t nodeCount() const { return nodes_.size(); }
+  std::size_t edgeCount() const { return edgeCount_; }
+
+  /// Nodes in insertion order.
+  const std::vector<T>& nodes() const { return nodes_; }
+
+  /// Predecessor values of a node, in insertion order of the predecessors.
+  std::vector<T> predecessors(const T& node) const {
+    return neighbourValues(node, preds_);
+  }
+
+  /// Successor values of a node, in insertion order of the successors.
+  std::vector<T> successors(const T& node) const {
+    return neighbourValues(node, succs_);
+  }
+
+  /// Nodes with no outgoing edge (causally maximal), in insertion order.
+  std::vector<T> sinks() const {
+    std::vector<T> out;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (succs_[i].empty()) out.push_back(nodes_[i]);
+    }
+    return out;
+  }
+
+  /// Merges all nodes and edges of another graph into this one.
+  void unionWith(const Digraph& other) {
+    for (const T& n : other.nodes_) addNode(n);
+    for (std::size_t f = 0; f < other.nodes_.size(); ++f) {
+      for (std::size_t t : other.succs_[f]) {
+        addEdge(other.nodes_[f], other.nodes_[t]);
+      }
+    }
+  }
+
+  /// True iff `to` is reachable from `from` through one or more edges.
+  bool reaches(const T& from, const T& to) const {
+    auto f = index_.find(from);
+    auto t = index_.find(to);
+    if (f == index_.end() || t == index_.end()) return false;
+    std::vector<std::size_t> stack{f->second};
+    std::unordered_set<std::size_t> seen;
+    while (!stack.empty()) {
+      const std::size_t cur = stack.back();
+      stack.pop_back();
+      for (std::size_t nxt : succs_[cur]) {
+        if (nxt == t->second) return true;
+        if (seen.insert(nxt).second) stack.push_back(nxt);
+      }
+    }
+    return false;
+  }
+
+  /// Kahn topological sort with a caller-supplied deterministic tie-break
+  /// (`less(a, b)` orders ready nodes). Returns nullopt if the graph has a
+  /// cycle.
+  template <typename Less>
+  std::optional<std::vector<T>> topoSort(Less less) const {
+    std::vector<std::size_t> indegree(nodes_.size());
+    for (std::size_t i = 0; i < nodes_.size(); ++i) indegree[i] = preds_[i].size();
+    std::vector<std::size_t> ready;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (indegree[i] == 0) ready.push_back(i);
+    }
+    auto idxLess = [&](std::size_t a, std::size_t b) {
+      return less(nodes_[a], nodes_[b]);
+    };
+    std::vector<T> out;
+    out.reserve(nodes_.size());
+    while (!ready.empty()) {
+      auto it = std::min_element(ready.begin(), ready.end(), idxLess);
+      const std::size_t cur = *it;
+      ready.erase(it);
+      out.push_back(nodes_[cur]);
+      for (std::size_t nxt : succs_[cur]) {
+        if (--indegree[nxt] == 0) ready.push_back(nxt);
+      }
+    }
+    if (out.size() != nodes_.size()) return std::nullopt;  // cycle
+    return out;
+  }
+
+ private:
+  std::vector<T> neighbourValues(
+      const T& node, const std::vector<std::unordered_set<std::size_t>>& adj) const {
+    std::vector<T> out;
+    auto it = index_.find(node);
+    if (it == index_.end()) return out;
+    std::vector<std::size_t> ids(adj[it->second].begin(), adj[it->second].end());
+    std::sort(ids.begin(), ids.end());  // insertion order
+    out.reserve(ids.size());
+    for (std::size_t i : ids) out.push_back(nodes_[i]);
+    return out;
+  }
+
+  std::vector<T> nodes_;
+  std::unordered_map<T, std::size_t> index_;
+  std::vector<std::unordered_set<std::size_t>> preds_;
+  std::vector<std::unordered_set<std::size_t>> succs_;
+  std::size_t edgeCount_ = 0;
+};
+
+}  // namespace wfd

@@ -1,0 +1,45 @@
+// Internal invariant checking.
+//
+// WFD_ENSURE throws (rather than aborting) so tests can assert that
+// protocol invariants are enforced, and so a violated invariant in a
+// benchmark produces a diagnosable error instead of UB.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace wfd {
+
+/// Error thrown when an internal invariant is violated.
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void failEnsure(const char* expr, const char* file, int line,
+                                    const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+}  // namespace detail
+
+}  // namespace wfd
+
+#define WFD_ENSURE(expr)                                                \
+  do {                                                                  \
+    if (!(expr)) ::wfd::detail::failEnsure(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define WFD_ENSURE_MSG(expr, msg)                                       \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      std::ostringstream wfd_ensure_os;                                 \
+      wfd_ensure_os << msg;                                             \
+      ::wfd::detail::failEnsure(#expr, __FILE__, __LINE__,              \
+                                wfd_ensure_os.str());                   \
+    }                                                                   \
+  } while (false)

@@ -1,0 +1,31 @@
+// Hash helpers for aggregate keys (failure-detector values, DAG vertices).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace wfd {
+
+/// Combines a hash value into a running seed (boost::hash_combine recipe).
+inline void hashCombine(std::size_t& seed, std::size_t value) {
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+/// Hashes a range of hashable elements.
+template <typename It>
+std::size_t hashRange(It first, It last) {
+  std::size_t seed = 0;
+  for (; first != last; ++first) {
+    hashCombine(seed, std::hash<std::decay_t<decltype(*first)>>{}(*first));
+  }
+  return seed;
+}
+
+/// Hashes a vector of hashable elements.
+template <typename T>
+std::size_t hashVector(const std::vector<T>& v) {
+  return hashRange(v.begin(), v.end());
+}
+
+}  // namespace wfd

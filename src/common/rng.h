@@ -1,0 +1,48 @@
+// Seeded pseudo-random number generation for deterministic simulations.
+//
+// Every source of nondeterminism in a run (scheduling choices, message
+// delays, pre-stabilization failure-detector output) draws from one Rng so
+// a (seed, config) pair fully determines the run.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "common/ensure.h"
+
+namespace wfd {
+
+/// Deterministic random source. Thin wrapper over std::mt19937_64 with the
+/// few draw shapes the simulator needs.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  std::uint64_t below(std::uint64_t bound) {
+    WFD_ENSURE(bound > 0);
+    return std::uniform_int_distribution<std::uint64_t>(0, bound - 1)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi) {
+    WFD_ENSURE(lo <= hi);
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli draw: true with probability num/den.
+  bool chance(std::uint32_t num, std::uint32_t den) {
+    WFD_ENSURE(den > 0 && num <= den);
+    return below(den) < num;
+  }
+
+  /// Derives an independent child generator (for per-component streams).
+  Rng fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace wfd

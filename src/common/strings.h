@@ -1,0 +1,23 @@
+// Small string helpers for diagnostics and bench tables.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace wfd {
+
+/// Joins elements with a separator using operator<<.
+template <typename Range>
+std::string join(const Range& range, const std::string& sep) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& item : range) {
+    if (!first) os << sep;
+    os << item;
+    first = false;
+  }
+  return os.str();
+}
+
+}  // namespace wfd

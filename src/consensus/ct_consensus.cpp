@@ -1,0 +1,152 @@
+#include "consensus/ct_consensus.h"
+
+#include <algorithm>
+
+namespace wfd {
+
+bool CtConsensusAutomaton::suspects(const FdValue& fd, ProcessId c) {
+  if (!fd.suspects.empty()) {
+    return std::binary_search(fd.suspects.begin(), fd.suspects.end(), c);
+  }
+  // Omega-style histories: trust exactly the current leader.
+  return fd.leader != kNoProcess && fd.leader != c;
+}
+
+void CtConsensusAutomaton::onInput(const StepContext& ctx, const Payload& input,
+                                   Effects& fx) {
+  const auto* propose = input.as<ProposeInput>();
+  if (propose == nullptr) return;
+  PerInstance& st = inst(propose->instance);
+  if (st.started) return;
+  st.started = true;
+  if (st.decided) {
+    // The decision was learned (via a relayed CtDecideMsg) before this
+    // process even proposed; respond immediately.
+    fx.output(Payload::of(EcDecision{propose->instance, st.decision}));
+    return;
+  }
+  st.estimate = propose->value;
+  st.stamp = 0;
+  enterRound(ctx, propose->instance, 1, fx);
+}
+
+void CtConsensusAutomaton::enterRound(const StepContext&, Instance l,
+                                      std::uint64_t round, Effects& fx) {
+  PerInstance& st = inst(l);
+  st.round = round;
+  // Estimates are broadcast (not unicast to the coordinator) so that
+  // lagging processes can round-synchronize: without this, processes can
+  // park in different leader-coordinated rounds and split the estimate
+  // quorum forever (the classical round-synchronization fix).
+  fx.broadcast(Payload::of(CtEstimateMsg{l, round, st.estimate, st.stamp}));
+}
+
+void CtConsensusAutomaton::onMessage(const StepContext& ctx, ProcessId from,
+                                     const Payload& msg, Effects& fx) {
+  const std::size_t majority = ctx.processCount / 2 + 1;
+
+  if (const auto* est = msg.as<CtEstimateMsg>()) {
+    PerInstance& st = inst(est->instance);
+    if (st.decided) {
+      fx.send(from, Payload::of(CtDecideMsg{est->instance, st.decision}));
+      return;
+    }
+    // Round synchronization: a peer ahead of us pulls us forward.
+    if (st.started && est->round > st.round) {
+      enterRound(ctx, est->instance, est->round, fx);
+    }
+    // Phase 2 (coordinator): gather a majority of estimates, propose the
+    // one with the highest stamp.
+    auto& bucket = st.estimates[est->round];
+    bucket[from] = {est->stamp, est->estimate};
+    if (bucket.size() >= majority && !st.proposed.contains(est->round) &&
+        coordinatorOf(est->round, ctx.processCount) == ctx.self) {
+      const auto best = std::max_element(
+          bucket.begin(), bucket.end(), [](const auto& a, const auto& b) {
+            return a.second.first < b.second.first;
+          });
+      st.proposed[est->round] = best->second.second;
+      fx.broadcast(Payload::of(
+          CtProposeMsg{est->instance, est->round, best->second.second}));
+    }
+    return;
+  }
+
+  if (const auto* prop = msg.as<CtProposeMsg>()) {
+    PerInstance& st = inst(prop->instance);
+    if (st.decided || !st.started) return;
+    if (prop->round < st.round) return;  // stale round
+    // Phase 3: adopt and ack.
+    if (prop->round > st.round) st.round = prop->round;
+    st.estimate = prop->proposal;
+    st.stamp = prop->round;
+    fx.send(from, Payload::of(CtAckMsg{prop->instance, prop->round, true}));
+    return;
+  }
+
+  if (const auto* ack = msg.as<CtAckMsg>()) {
+    PerInstance& st = inst(ack->instance);
+    if (st.decided) return;
+    if (!ack->positive) return;  // a nack just means the sender moved on
+    auto& voters = st.acks[ack->round];
+    voters.insert(from);
+    // Phase 4 (coordinator): a majority of acks locks the value THIS
+    // round proposed (the coordinator's own estimate may have moved on).
+    auto proposal = st.proposed.find(ack->round);
+    if (voters.size() >= majority && proposal != st.proposed.end() &&
+        coordinatorOf(ack->round, ctx.processCount) == ctx.self) {
+      decide(ack->instance, proposal->second, fx);
+      fx.broadcast(Payload::of(CtDecideMsg{ack->instance, proposal->second}));
+    }
+    return;
+  }
+
+  if (const auto* dec = msg.as<CtDecideMsg>()) {
+    PerInstance& st = inst(dec->instance);
+    if (st.decided || !st.started) {
+      if (!st.started) {
+        // Remember the decision; it is output when this process proposes.
+        st.decided = true;
+        st.decision = dec->value;
+      }
+      return;
+    }
+    decide(dec->instance, dec->value, fx);
+    // Reliable broadcast: relay once.
+    fx.broadcast(Payload::of(CtDecideMsg{dec->instance, dec->value}));
+    return;
+  }
+}
+
+void CtConsensusAutomaton::onTimeout(const StepContext& ctx, Effects& fx) {
+  // Suspicion-driven round advance for every open instance.
+  for (auto& [l, st] : instances_) {
+    if (!st.started || st.decided) continue;
+    const ProcessId coord = coordinatorOf(st.round, ctx.processCount);
+    if (coord == ctx.self) continue;  // coordinators don't nack themselves
+    if (suspects(ctx.fd, coord)) {
+      fx.send(coord, Payload::of(CtAckMsg{l, st.round, false}));
+      enterRound(ctx, l, st.round + 1, fx);
+    }
+  }
+}
+
+bool CtConsensusAutomaton::decided(Instance l) const {
+  auto it = instances_.find(l);
+  return it != instances_.end() && it->second.decided;
+}
+
+std::uint64_t CtConsensusAutomaton::currentRound(Instance l) const {
+  auto it = instances_.find(l);
+  return it == instances_.end() ? 0 : it->second.round;
+}
+
+void CtConsensusAutomaton::decide(Instance l, const Value& v, Effects& fx) {
+  PerInstance& st = inst(l);
+  if (st.decided) return;
+  st.decided = true;
+  st.decision = v;
+  fx.output(Payload::of(EcDecision{l, v}));
+}
+
+}  // namespace wfd

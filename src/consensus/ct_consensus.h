@@ -1,0 +1,99 @@
+// Chandra–Toueg rotating-coordinator consensus [3] — the classical
+// Ω/◊S + majority algorithm the paper builds on ("Chandra and Toueg
+// proved that Omega is sufficient to implement consensus in an
+// environment with a majority of correct processes").
+//
+// Exposed through the same interface as the EC implementations
+// (ProposeInput in, EcDecision out), which makes the paper's gap directly
+// observable in one harness:
+//   * CtConsensusAutomaton solves REAL consensus — checkEcRun reports
+//     agreement from instance 1 in every run — but requires a correct
+//     majority and stalls without one;
+//   * OmegaEcAutomaton (Algorithm 4) only promises agreement from some
+//     finite instance — but runs in ANY environment.
+//
+// Per instance, rounds r = 1, 2, ... with coordinator c = (r-1) mod n:
+//   1. everyone in round r sends its (estimate, stamp) to c;
+//   2. c picks the estimate with the highest stamp among a majority and
+//      proposes it to all;
+//   3. a process that receives the proposal adopts it (stamp := r) and
+//      acks; a process whose failure detector suspects c nacks and moves
+//      to round r+1;
+//   4. on a majority of acks, c decides and reliably broadcasts the
+//      decision (receivers decide and re-broadcast once).
+//
+// Suspicion comes from the step's FdValue: an explicit suspect list (◊P /
+// ◊S histories) or, for Omega histories, "the leader is someone else".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "common/types.h"
+#include "ec/ec_types.h"
+#include "sim/automaton.h"
+
+namespace wfd {
+
+struct CtEstimateMsg {
+  Instance instance = 0;
+  std::uint64_t round = 0;
+  Value estimate;
+  std::uint64_t stamp = 0;
+};
+struct CtProposeMsg {
+  Instance instance = 0;
+  std::uint64_t round = 0;
+  Value proposal;
+};
+struct CtAckMsg {
+  Instance instance = 0;
+  std::uint64_t round = 0;
+  bool positive = true;
+};
+struct CtDecideMsg {
+  Instance instance = 0;
+  Value value;
+};
+
+class CtConsensusAutomaton final : public CloneableAutomaton<CtConsensusAutomaton> {
+ public:
+  void onInput(const StepContext& ctx, const Payload& input, Effects& fx) override;
+  void onMessage(const StepContext& ctx, ProcessId from, const Payload& msg,
+                 Effects& fx) override;
+  void onTimeout(const StepContext& ctx, Effects& fx) override;
+
+  std::uint64_t currentRound(Instance l) const;
+  bool decided(Instance l) const;
+
+ private:
+  struct PerInstance {
+    bool started = false;
+    Value estimate;
+    std::uint64_t stamp = 0;
+    std::uint64_t round = 1;
+    // Coordinator-side state for rounds this process coordinates.
+    std::map<std::uint64_t, std::map<ProcessId, std::pair<std::uint64_t, Value>>>
+        estimates;
+    std::map<std::uint64_t, std::set<ProcessId>> acks;
+    /// Proposal sent per coordinated round — the value a majority ack
+    /// locks (the coordinator's own estimate may move on meanwhile).
+    std::map<std::uint64_t, Value> proposed;
+    bool decided = false;
+    Value decision;
+  };
+
+  ProcessId coordinatorOf(std::uint64_t round, std::size_t n) const {
+    return static_cast<ProcessId>((round - 1) % n);
+  }
+  static bool suspects(const FdValue& fd, ProcessId c);
+  PerInstance& inst(Instance l) { return instances_[l]; }
+  void enterRound(const StepContext& ctx, Instance l, std::uint64_t round,
+                  Effects& fx);
+  void decide(Instance l, const Value& v, Effects& fx);
+
+  std::map<Instance, PerInstance> instances_;
+};
+
+}  // namespace wfd

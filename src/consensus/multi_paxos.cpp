@@ -1,0 +1,103 @@
+#include "consensus/multi_paxos.h"
+
+#include "common/ensure.h"
+#include "sim/message.h"
+
+namespace wfd {
+
+MultiPaxosEngine::MultiPaxosEngine(ProcessId self, std::size_t processCount)
+    : self_(self), processCount_(processCount) {
+  WFD_ENSURE(processCount >= 2);
+  WFD_ENSURE(self < processCount);
+}
+
+void MultiPaxosEngine::tick(bool isLeader, Outbox& out) {
+  if (!isLeader) {
+    // Losing leadership abandons the prepared state: a later reign starts
+    // a fresh, higher ballot.
+    if (prepared_ || myBallot_ != 0) {
+      prepared_ = false;
+      myBallot_ = 0;
+      promisers_.clear();
+      constrained_.clear();
+      proposedByMe_.clear();
+    }
+    return;
+  }
+  if (prepared_) return;
+  if (myBallot_ == 0) {
+    ++round_;
+    myBallot_ = ownBallot(round_);
+    promisers_.clear();
+    constrained_.clear();
+  }
+  // (Re-)issue the prepare each λ-step until a majority promises. Links
+  // are reliable, so this retransmission only matters when a previous
+  // reign's state was torn down mid-flight.
+  out.sends.emplace_back(kBroadcast, Payload::of(PaxosPrepareMsg{myBallot_}));
+}
+
+void MultiPaxosEngine::propose(Instance instance, Value value, Outbox& out) {
+  WFD_ENSURE_MSG(prepared_, "propose() requires a majority-promised ballot");
+  if (decided(instance) || proposedByMe_.contains(instance)) return;
+  auto it = constrained_.find(instance);
+  const Value& v = it != constrained_.end() ? it->second.second : value;
+  proposedByMe_.insert(instance);
+  out.sends.emplace_back(kBroadcast, Payload::of(PaxosAcceptMsg{myBallot_, instance, v}));
+}
+
+bool MultiPaxosEngine::onMessage(ProcessId from, const Payload& msg, Outbox& out) {
+  if (const auto* prepare = msg.as<PaxosPrepareMsg>()) {
+    if (prepare->ballot > promisedBallot_) {
+      promisedBallot_ = prepare->ballot;
+      out.sends.emplace_back(from,
+                             Payload::of(PaxosPromiseMsg{prepare->ballot, accepted_}));
+    }
+    return true;
+  }
+  if (const auto* promise = msg.as<PaxosPromiseMsg>()) {
+    if (promise->ballot != myBallot_ || prepared_) return true;
+    promisers_.insert(from);
+    for (const auto& [inst, bv] : promise->accepted) {
+      auto [it, inserted] = constrained_.try_emplace(inst, bv);
+      if (!inserted && bv.first > it->second.first) it->second = bv;
+    }
+    if (promisers_.size() >= majority()) prepared_ = true;
+    return true;
+  }
+  if (const auto* accept = msg.as<PaxosAcceptMsg>()) {
+    if (accept->ballot >= promisedBallot_) {
+      promisedBallot_ = accept->ballot;
+      accepted_[accept->instance] = {accept->ballot, accept->value};
+      out.sends.emplace_back(
+          kBroadcast,
+          Payload::of(PaxosAcceptedMsg{accept->ballot, accept->instance, accept->value}));
+    }
+    return true;
+  }
+  if (const auto* accepted = msg.as<PaxosAcceptedMsg>()) {
+    if (decided(accepted->instance)) return true;
+    auto& voters = votes_[accepted->instance][accepted->ballot];
+    voters.insert(from);
+    if (voters.size() >= majority()) {
+      decisions_.emplace(accepted->instance, accepted->value);
+      votes_.erase(accepted->instance);
+      out.decisions.emplace_back(accepted->instance, accepted->value);
+    }
+    return true;
+  }
+  return false;
+}
+
+const Value* MultiPaxosEngine::decision(Instance instance) const {
+  auto it = decisions_.find(instance);
+  return it == decisions_.end() ? nullptr : &it->second;
+}
+
+Instance MultiPaxosEngine::contiguousDecided() const {
+  Instance l = 0;
+  while (decisions_.contains(l + 1)) ++l;
+  return l;
+}
+
+}  // namespace wfd

@@ -1,0 +1,120 @@
+// The strongly consistent baseline: multi-instance single-decree Paxos
+// driven by Omega, requiring majority quorums (the role Sigma plays in
+// the paper's comparison — here quorums are hard-coded majorities, which
+// is how Sigma is realized in a majority-correct environment).
+//
+// Latency shape (benched in E1): with a stable prepared leader, committing
+// a client message costs three communication steps — submit -> leader,
+// leader accept -> acceptors, acceptors accepted -> everyone — matching
+// Lamport's lower bound for strong consensus [22], versus ETOB's two.
+//
+// The engine is a pure value-type state machine: message in, outbox out.
+// The TOB layer (src/tob) owns what values get proposed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/payload.h"
+
+namespace wfd {
+
+/// Totally ordered ballot; ballot b of proposer p is b = round * n + p,
+/// so ballots are unique per proposer. 0 means "none".
+using Ballot = std::uint64_t;
+
+struct PaxosPrepareMsg {
+  Ballot ballot = 0;
+};
+/// Unicast reply to a prepare: the acceptor's promise plus everything it
+/// has ever accepted (per instance) so the proposer adopts constrained
+/// values.
+struct PaxosPromiseMsg {
+  Ballot ballot = 0;
+  std::map<Instance, std::pair<Ballot, Value>> accepted;
+};
+struct PaxosAcceptMsg {
+  Ballot ballot = 0;
+  Instance instance = 0;
+  Value value;
+};
+/// Broadcast by acceptors so every process learns decisions directly.
+struct PaxosAcceptedMsg {
+  Ballot ballot = 0;
+  Instance instance = 0;
+  Value value;
+};
+
+/// Per-process multi-Paxos engine (proposer + acceptor + learner).
+class MultiPaxosEngine {
+ public:
+  struct Outbox {
+    /// kBroadcast target means send to every process.
+    std::vector<std::pair<ProcessId, Payload>> sends;
+    /// Newly learned decisions.
+    std::vector<std::pair<Instance, Value>> decisions;
+  };
+
+  MultiPaxosEngine(ProcessId self, std::size_t processCount);
+
+  /// Leader-side driver, called on every λ-step. While `isLeader`, makes
+  /// sure a prepare phase for an owned ballot is running or complete
+  /// (re-issuing the prepare periodically until promised by a majority).
+  void tick(bool isLeader, Outbox& out);
+
+  /// True iff this process holds a majority-promised ballot and may
+  /// propose directly (the multi-Paxos fast path).
+  bool canPropose() const { return prepared_; }
+
+  /// Proposes a value for an instance (requires canPropose()). If the
+  /// prepare phase revealed an accepted value for this instance, that
+  /// value is proposed instead (Paxos safety).
+  void propose(Instance instance, Value value, Outbox& out);
+
+  /// Routes one Paxos message; fills the outbox with replies/decisions.
+  /// Returns false if the payload is not a Paxos message.
+  bool onMessage(ProcessId from, const Payload& msg, Outbox& out);
+
+  bool decided(Instance instance) const { return decisions_.contains(instance); }
+  const Value* decision(Instance instance) const;
+  /// Largest L such that instances 1..L are all decided.
+  Instance contiguousDecided() const;
+  /// True iff this proposer has an accept in flight for the instance.
+  bool proposalInFlight(Instance instance) const {
+    return proposedByMe_.contains(instance) && !decided(instance);
+  }
+
+ private:
+  std::size_t majority() const { return processCount_ / 2 + 1; }
+  Ballot ownBallot(std::uint64_t round) const {
+    return round * processCount_ + self_ + 1;  // +1 keeps 0 as "none"
+  }
+
+  ProcessId self_;
+  std::size_t processCount_;
+
+  // --- proposer ---
+  Ballot myBallot_ = 0;
+  bool prepared_ = false;
+  std::set<ProcessId> promisers_;
+  /// Highest (ballot, value) accepted per instance, learned from promises;
+  /// constrains what this proposer may propose.
+  std::map<Instance, std::pair<Ballot, Value>> constrained_;
+  std::set<Instance> proposedByMe_;
+  std::uint64_t round_ = 0;
+
+  // --- acceptor ---
+  Ballot promisedBallot_ = 0;
+  std::map<Instance, std::pair<Ballot, Value>> accepted_;
+
+  // --- learner ---
+  /// votes_[instance][ballot] = acceptors seen.
+  std::map<Instance, std::map<Ballot, std::set<ProcessId>>> votes_;
+  std::map<Instance, Value> decisions_;
+};
+
+}  // namespace wfd

@@ -1,0 +1,34 @@
+#include "ec/ec_types.h"
+
+#include "common/ensure.h"
+
+namespace wfd {
+
+Value encodeValueSeq(const std::vector<Value>& seq) {
+  Value out;
+  out.push_back(seq.size());
+  for (const Value& v : seq) {
+    out.push_back(v.size());
+    out.insert(out.end(), v.begin(), v.end());
+  }
+  return out;
+}
+
+std::vector<Value> decodeValueSeq(const Value& encoded) {
+  WFD_ENSURE(!encoded.empty());
+  std::size_t pos = 0;
+  const std::uint64_t count = encoded[pos++];
+  std::vector<Value> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    WFD_ENSURE(pos < encoded.size());
+    const std::uint64_t len = encoded[pos++];
+    WFD_ENSURE(pos + len <= encoded.size());
+    out.emplace_back(encoded.begin() + pos, encoded.begin() + pos + len);
+    pos += len;
+  }
+  WFD_ENSURE_MSG(pos == encoded.size(), "trailing bytes in encoded value sequence");
+  return out;
+}
+
+}  // namespace wfd

@@ -1,0 +1,59 @@
+// Eventual consensus (EC) vocabulary: inputs, decisions, value encoding.
+//
+// EC exports proposeEC_1, proposeEC_2, ... — each process is assumed to
+// invoke proposeEC_{l+1} as soon as proposeEC_l returns. The abstraction
+// guarantees termination/integrity/validity always, and agreement for all
+// instances l >= k for some finite k (paper §3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/payload.h"
+
+namespace wfd {
+
+/// Input event: invocation of proposeEC_instance(value) — multivalued
+/// (the binary abstraction is the restriction to values {0} and {1}).
+struct ProposeInput {
+  Instance instance = 0;
+  Value value;
+};
+
+/// Output event: proposeEC_instance returned `value`.
+struct EcDecision {
+  Instance instance = 0;
+  Value value;
+};
+
+/// Input event for eventual irrevocable consensus (Appendix A).
+struct ProposeEicInput {
+  Instance instance = 0;
+  Value value;
+};
+
+/// Output event of EIC: a (possibly revised) response to
+/// proposeEIC_instance. The response "at time t" is the last one before t.
+struct EicDecision {
+  Instance instance = 0;
+  Value value;
+};
+
+/// Bookkeeping output emitted by the proposal drivers: records the input
+/// history H_I (which value this process proposed for which instance), so
+/// checkers can verify EC-Validity without reconstructing proposals.
+struct ProposalMade {
+  Instance instance = 0;
+  Value value;
+};
+
+/// Encodes a sequence of Values into one Value (length-prefixed flat
+/// encoding) — Algorithm 6 proposes its whole decision sequence to EC.
+Value encodeValueSeq(const std::vector<Value>& seq);
+
+/// Inverse of encodeValueSeq. Malformed input is an invariant error (the
+/// only producers are this library's own protocols).
+std::vector<Value> decodeValueSeq(const Value& encoded);
+
+}  // namespace wfd

@@ -1,0 +1,28 @@
+#include "ec/omega_ec.h"
+
+namespace wfd {
+
+void OmegaEcAutomaton::onInput(const StepContext&, const Payload& input,
+                               Effects& fx) {
+  const auto* propose = input.as<ProposeInput>();
+  if (propose == nullptr) return;
+  count_ = propose->instance;
+  fx.broadcast(Payload::of(EcPromoteMsg{propose->value, propose->instance}));
+}
+
+void OmegaEcAutomaton::onMessage(const StepContext&, ProcessId from,
+                                 const Payload& msg, Effects&) {
+  const auto* promote = msg.as<EcPromoteMsg>();
+  if (promote == nullptr) return;
+  received_[{from, promote->instance}] = promote->value;
+}
+
+void OmegaEcAutomaton::onTimeout(const StepContext& ctx, Effects& fx) {
+  if (count_ == 0 || decided_.contains(count_)) return;
+  auto it = received_.find({ctx.fd.leader, count_});
+  if (it == received_.end()) return;
+  decided_.insert(count_);
+  fx.output(Payload::of(EcDecision{count_, it->second}));
+}
+
+}  // namespace wfd

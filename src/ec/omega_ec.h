@@ -1,0 +1,49 @@
+// Algorithm 4: eventual consensus from Omega, in ANY environment —
+// the sufficiency half of Theorem 2.
+//
+// Per the paper:
+//  * on proposeEC_l(v)      -> count_i := l; send promote(v, l) to all
+//  * on promote(v, l) from j-> received_i[j, l] := v
+//  * on local timeout       -> if received_i[Omega_i, count_i] != ⊥ then
+//                              DecideEC(count_i, received_i[Omega_i, count_i])
+//
+// Once Omega stabilizes on one correct leader, all processes decide that
+// leader's proposals, giving agreement for every later instance; no
+// quorum (Sigma) is ever needed.
+#pragma once
+
+#include <map>
+#include <set>
+#include <utility>
+
+#include "common/types.h"
+#include "ec/ec_types.h"
+#include "sim/automaton.h"
+
+namespace wfd {
+
+/// Algorithm 4's wire message promote(v, l).
+struct EcPromoteMsg {
+  Value value;
+  Instance instance = 0;
+};
+
+class OmegaEcAutomaton final : public CloneableAutomaton<OmegaEcAutomaton> {
+ public:
+  void onInput(const StepContext& ctx, const Payload& input, Effects& fx) override;
+  void onMessage(const StepContext& ctx, ProcessId from, const Payload& msg,
+                 Effects& fx) override;
+  void onTimeout(const StepContext& ctx, Effects& fx) override;
+
+  Instance currentInstance() const { return count_; }
+  bool decided(Instance l) const { return decided_.contains(l); }
+
+ private:
+  Instance count_ = 0;  // number of the last instance invoked here
+  /// received_i[(j, l)] — the value promoted by p_j for instance l.
+  std::map<std::pair<ProcessId, Instance>, Value> received_;
+  /// Instances already responded to (EC-Integrity: at most one response).
+  std::set<Instance> decided_;
+};
+
+}  // namespace wfd

@@ -1,0 +1,102 @@
+#include "etob/causality_graph.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/ensure.h"
+
+namespace wfd {
+
+void CausalityGraph::addMessage(const AppMsg& m, const std::vector<MsgId>& deps) {
+  if (bodies_.contains(m.id)) return;
+  graph_.addNode(m.id);
+  bodies_.emplace(m.id, m);
+
+  std::vector<MsgId> sources;
+  if (mode_ == CgEdgeMode::kFullPaper) {
+    sources = deps;
+  } else {
+    // Frontier mode: keep only causally-maximal dependencies. A dep that
+    // reaches another dep is implied transitively.
+    for (MsgId d : deps) {
+      bool dominated = false;
+      for (MsgId other : deps) {
+        if (other != d && graph_.reaches(d, other)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) sources.push_back(d);
+    }
+  }
+  for (MsgId d : sources) {
+    if (d == m.id) continue;
+    // Unknown dependencies become placeholder nodes: the edge constrains
+    // ordering; the content arrives later via update/union.
+    graph_.addEdge(d, m.id);
+  }
+}
+
+void CausalityGraph::unionWith(const CausalityGraph& other) {
+  graph_.unionWith(other.graph_);
+  for (const auto& [id, body] : other.bodies_) bodies_.emplace(id, body);
+}
+
+std::size_t CausalityGraph::approxWeight() const {
+  std::size_t w = 1 + graph_.nodeCount() + graph_.edgeCount();
+  for (const auto& [id, body] : bodies_) {
+    w += 2 + body.body.size() + body.causalDeps.size();
+  }
+  return w;
+}
+
+const AppMsg& CausalityGraph::message(MsgId id) const {
+  auto it = bodies_.find(id);
+  WFD_ENSURE_MSG(it != bodies_.end(), "unknown message in causality graph");
+  return it->second;
+}
+
+std::vector<MsgId> CausalityGraph::topologicalOrder() const {
+  auto order = graph_.topoSort([](MsgId a, MsgId b) { return a < b; });
+  WFD_ENSURE_MSG(order.has_value(), "causality graph must be acyclic");
+  return *order;
+}
+
+std::vector<MsgId> CausalityGraph::extendPromote(
+    const std::vector<MsgId>& promote) const {
+  std::unordered_set<MsgId> emitted(promote.begin(), promote.end());
+  WFD_ENSURE_MSG(emitted.size() == promote.size(),
+                 "promote sequence contains duplicates");
+  std::vector<MsgId> out = promote;
+  // Walk the full topological order; a message is appended only when its
+  // content is known AND all its predecessors were emitted. A blocked
+  // message blocks its causal descendants (they cannot be emitted before
+  // it) but nothing else.
+  std::unordered_set<MsgId> blocked;
+  for (MsgId id : topologicalOrder()) {
+    if (emitted.contains(id)) continue;
+    bool ready = bodies_.contains(id);
+    if (ready) {
+      for (MsgId pred : graph_.predecessors(id)) {
+        if (!emitted.contains(pred)) {
+          ready = false;
+          break;
+        }
+      }
+    }
+    if (ready) {
+      out.push_back(id);
+      emitted.insert(id);
+    } else {
+      blocked.insert(id);
+    }
+  }
+  // Post-condition: out respects every edge of the graph. The prefix does
+  // by the algorithm's invariant; appended messages were emitted only
+  // after all their predecessors, and no edge can point from an appended
+  // message to a prefix message (all in-edges of a message exist from
+  // its creation).
+  return out;
+}
+
+}  // namespace wfd

@@ -1,0 +1,91 @@
+// The causality graph CG_i of Algorithm 5 (ET OB).
+//
+// Nodes are application messages; an edge (m', m) means m causally
+// depends on m'. UpdateCG(m, C(m)) adds m with edges from C(m); UnionCG
+// merges a peer's graph. The graph is acyclic by construction: every
+// in-edge of m is created at m's broadcast, and C(m) only contains
+// messages created strictly earlier in real time.
+//
+// Two edge modes with the same transitive closure:
+//  * kFullPaper — edges from *every* element of C(m), as written in the
+//    paper's UpdateCG;
+//  * kFrontier — edges only from the causally-maximal elements of C(m)
+//    (the graph's current sinks plus the explicit dependencies). Cheaper,
+//    and provably closure-equivalent because every node reaches a sink.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/digraph.h"
+#include "common/types.h"
+#include "sim/app_msg.h"
+
+namespace wfd {
+
+enum class CgEdgeMode { kFullPaper, kFrontier };
+
+class CausalityGraph {
+ public:
+  explicit CausalityGraph(CgEdgeMode mode = CgEdgeMode::kFullPaper) : mode_(mode) {}
+
+  /// The paper's UpdateCG(m, C(m)): adds node m and edges {(m', m) |
+  /// m' ∈ deps}. C(m) is supplied by the application and may reference
+  /// messages whose content this process has not received yet (e.g. a
+  /// client session that read m' at another replica): such dependencies
+  /// become placeholder nodes — the edge is recorded, and m stays
+  /// unpromotable until the placeholder's content arrives (see
+  /// extendPromote). Idempotent per message id.
+  void addMessage(const AppMsg& m, const std::vector<MsgId>& deps);
+
+  /// The paper's UnionCG(CG_j). Fills in placeholder bodies known to the
+  /// peer.
+  void unionWith(const CausalityGraph& other);
+
+  /// True iff the full content of the message is known (placeholder
+  /// dependency nodes return false).
+  bool contains(MsgId id) const { return bodies_.contains(id); }
+  std::size_t messageCount() const { return graph_.nodeCount(); }
+  std::size_t edgeCount() const { return graph_.edgeCount(); }
+
+  /// Message metadata (must be present).
+  const AppMsg& message(MsgId id) const;
+
+  /// All message ids, in insertion order.
+  const std::vector<MsgId>& ids() const { return graph_.nodes(); }
+
+  /// True iff `ancestor` causally precedes `descendant` in this graph.
+  bool causallyPrecedes(MsgId ancestor, MsgId descendant) const {
+    return graph_.reaches(ancestor, descendant);
+  }
+
+  /// Causally maximal messages (no outgoing edge).
+  std::vector<MsgId> frontier() const { return graph_.sinks(); }
+
+  /// Abstract serialized size in words (nodes + edges + message bodies) —
+  /// what a full-graph update message costs on the wire.
+  std::size_t approxWeight() const;
+
+  /// Deterministic topological order of all messages (ties by MsgId).
+  /// The graph is acyclic by construction, so this always succeeds.
+  std::vector<MsgId> topologicalOrder() const;
+
+  /// The paper's UpdatePromote: returns an extension of `promote` that
+  /// contains every PROMOTABLE message of this graph exactly once and
+  /// respects every edge. A message is promotable when its content and
+  /// the content of its whole causal ancestry are known — a placeholder
+  /// dependency blocks its descendants (causal buffering), never the
+  /// rest of the graph. `promote` must itself respect the graph's edges
+  /// (invariant maintained by Algorithm 5; violations throw).
+  std::vector<MsgId> extendPromote(const std::vector<MsgId>& promote) const;
+
+  CgEdgeMode mode() const { return mode_; }
+
+ private:
+  CgEdgeMode mode_;
+  Digraph<MsgId> graph_;
+  std::unordered_map<MsgId, AppMsg> bodies_;
+};
+
+}  // namespace wfd

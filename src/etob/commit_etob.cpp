@@ -1,0 +1,179 @@
+#include "etob/commit_etob.h"
+
+#include <algorithm>
+
+#include "common/ensure.h"
+
+namespace wfd {
+namespace {
+
+/// True iff `prefix` is a prefix of `seq`.
+bool isPrefix(const std::vector<MsgId>& prefix, const std::vector<MsgId>& seq) {
+  return seq.size() >= prefix.size() &&
+         std::equal(prefix.begin(), prefix.end(), seq.begin());
+}
+
+}  // namespace
+
+CommitEtobAutomaton::CommitEtobAutomaton(EtobConfig config)
+    : config_(config), cg_(config.edgeMode) {}
+
+void CommitEtobAutomaton::onInput(const StepContext&, const Payload& input,
+                                  Effects& fx) {
+  const auto* bcast = input.as<BroadcastInput>();
+  if (bcast == nullptr) return;
+  AppMsg m = bcast->msg;
+  std::vector<MsgId> deps = m.causalDeps;
+  if (config_.autoCausal) {
+    for (MsgId known : cg_.ids()) deps.push_back(known);
+  }
+  cg_.addMessage(m, deps);
+  if (config_.deltaUpdates) {
+    const std::size_t weight = 3 + m.body.size() + deps.size();
+    fx.broadcast(Payload::of(EtobDeltaMsg{std::move(m), std::move(deps)}), weight);
+  } else {
+    fx.broadcast(Payload::of(EtobUpdateMsg{cg_}), cg_.approxWeight());
+  }
+}
+
+void CommitEtobAutomaton::onMessage(const StepContext& ctx, ProcessId from,
+                                    const Payload& msg, Effects& fx) {
+  if (const auto* update = msg.as<EtobUpdateMsg>()) {
+    cg_.unionWith(update->cg);
+    updatePromote();
+    return;
+  }
+  if (const auto* delta = msg.as<EtobDeltaMsg>()) {
+    cg_.addMessage(delta->msg, delta->deps);
+    updatePromote();
+    return;
+  }
+  if (const auto* promote = msg.as<EtobPromoteMsg>()) {
+    if (ctx.fd.leader != from || promote->epoch <= adoptedEpoch_[from]) return;
+    std::vector<MsgId> ids;
+    ids.reserve(promote->seq.size());
+    for (const AppMsg& m : promote->seq) ids.push_back(m.id);
+    // Commit guard: never adopt a sequence that contradicts what this
+    // process already knows to be committed.
+    if (!extendsCommitted(ids)) return;
+    adoptedEpoch_[from] = promote->epoch;
+    for (const AppMsg& m : promote->seq) {
+      if (!cg_.contains(m.id)) adoptedBodies_.emplace(m.id, m);
+    }
+    d_ = std::move(ids);
+    fx.deliverSequence(d_);
+    // Acknowledge the adoption to the leader (commit machinery).
+    fx.send(from, Payload::of(EtobAckMsg{promote->epoch}));
+    return;
+  }
+  if (const auto* ack = msg.as<EtobAckMsg>()) {
+    auto seqIt = epochSeq_.find(ack->epoch);
+    if (seqIt == epochSeq_.end()) return;  // pruned or never promoted by me
+    auto& voters = acks_[ack->epoch];
+    voters.insert(from);
+    const std::size_t majority = ctx.processCount / 2 + 1;
+    if (voters.size() < majority) return;
+    const std::vector<MsgId>& candidate = seqIt->second;
+    if (candidate.size() <= committed_.size()) return;  // nothing new
+    if (!isPrefix(committed_, candidate)) {
+      // Should not happen while this process leads (its own promotes
+      // extend its committed prefix); counted for honesty.
+      ++commitConflicts_;
+      return;
+    }
+    committed_ = candidate;
+    std::vector<AppMsg> content;
+    content.reserve(committed_.size());
+    std::size_t weight = 2;
+    for (MsgId id : committed_) {
+      const AppMsg* m = findMessage(id);
+      WFD_ENSURE_MSG(m != nullptr, "leader promoted a message it cannot name");
+      content.push_back(*m);
+      weight += 2 + m->body.size();
+    }
+    fx.broadcast(Payload::of(EtobCommitMsg{std::move(content)}), weight);
+    // The indication must describe this process's own delivery sequence;
+    // the leader's loopback promote may still be in flight, so align d_i
+    // with the committed prefix before indicating.
+    if (!isPrefix(committed_, d_)) {
+      d_ = committed_;
+      fx.deliverSequence(d_);
+    }
+    fx.output(Payload::of(CommittedPrefix{committed_.size()}));
+    return;
+  }
+  if (const auto* commit = msg.as<EtobCommitMsg>()) {
+    adoptCommit(commit->prefix, fx);
+    return;
+  }
+}
+
+void CommitEtobAutomaton::onTimeout(const StepContext& ctx, Effects& fx) {
+  if (ctx.fd.leader != ctx.self) return;
+  // Promote only when every promoted message's content is known (a
+  // commit-adopted placeholder may still be in flight).
+  std::vector<AppMsg> seq;
+  seq.reserve(promote_.size());
+  std::size_t weight = 3;
+  for (MsgId id : promote_) {
+    const AppMsg* m = findMessage(id);
+    if (m == nullptr) return;  // wait for the content to arrive
+    seq.push_back(*m);
+    weight += 2 + m->body.size();
+  }
+  ++promoteEpoch_;
+  epochSeq_[promoteEpoch_] = promote_;
+  // Prune acknowledged bookkeeping far behind the committed frontier.
+  while (!epochSeq_.empty() && epochSeq_.begin()->first + 128 < promoteEpoch_) {
+    acks_.erase(epochSeq_.begin()->first);
+    epochSeq_.erase(epochSeq_.begin());
+  }
+  fx.broadcast(Payload::of(EtobPromoteMsg{std::move(seq), promoteEpoch_}), weight);
+}
+
+void CommitEtobAutomaton::updatePromote() {
+  promote_ = cg_.extendPromote(promote_);
+}
+
+void CommitEtobAutomaton::adoptCommit(const std::vector<AppMsg>& prefix,
+                                      Effects& fx) {
+  std::vector<MsgId> ids;
+  ids.reserve(prefix.size());
+  for (const AppMsg& m : prefix) ids.push_back(m.id);
+  if (ids.size() <= committed_.size()) {
+    if (!isPrefix(ids, committed_)) ++commitConflicts_;
+    return;
+  }
+  if (!isPrefix(committed_, ids)) {
+    ++commitConflicts_;
+    return;
+  }
+  // Learn the content (the committing leader included it) and rebase the
+  // local promote sequence onto the committed prefix.
+  for (const AppMsg& m : prefix) {
+    cg_.addMessage(m, {});
+  }
+  committed_ = std::move(ids);
+  promote_ = cg_.extendPromote(committed_);
+  // The indication is emitted once the local delivery sequence reflects
+  // the committed prefix (it may still show an older leader's view).
+  if (isPrefix(committed_, d_)) {
+    fx.output(Payload::of(CommittedPrefix{committed_.size()}));
+  } else {
+    d_ = committed_;
+    fx.deliverSequence(d_);
+    fx.output(Payload::of(CommittedPrefix{committed_.size()}));
+  }
+}
+
+bool CommitEtobAutomaton::extendsCommitted(const std::vector<MsgId>& seq) const {
+  return isPrefix(committed_, seq);
+}
+
+const AppMsg* CommitEtobAutomaton::findMessage(MsgId id) const {
+  if (cg_.contains(id)) return &cg_.message(id);
+  auto it = adoptedBodies_.find(id);
+  return it == adoptedBodies_.end() ? nullptr : &it->second;
+}
+
+}  // namespace wfd

@@ -1,0 +1,98 @@
+#include "etob/etob_automaton.h"
+
+#include "common/ensure.h"
+
+namespace wfd {
+
+EtobAutomaton::EtobAutomaton(EtobConfig config)
+    : config_(config), cg_(config.edgeMode) {}
+
+void EtobAutomaton::onInput(const StepContext&, const Payload& input, Effects& fx) {
+  const auto* bcast = input.as<BroadcastInput>();
+  if (bcast == nullptr) return;
+
+  AppMsg m = bcast->msg;
+  std::vector<MsgId> deps = m.causalDeps;
+  if (config_.autoCausal) {
+    // C(m) ⊇ everything this process has sent or received so far: the
+    // full happened-before context of the broadcast.
+    for (MsgId known : cg_.ids()) deps.push_back(known);
+  }
+  cg_.addMessage(m, deps);
+  if (config_.deltaUpdates) {
+    const std::size_t weight = 3 + m.body.size() + deps.size();
+    fx.broadcast(Payload::of(EtobDeltaMsg{std::move(m), std::move(deps)}), weight);
+  } else {
+    fx.broadcast(Payload::of(EtobUpdateMsg{cg_}), cg_.approxWeight());
+  }
+}
+
+void EtobAutomaton::onMessage(const StepContext& ctx, ProcessId from,
+                              const Payload& msg, Effects& fx) {
+  if (const auto* update = msg.as<EtobUpdateMsg>()) {
+    cg_.unionWith(update->cg);
+    updatePromote();
+    return;
+  }
+  if (const auto* delta = msg.as<EtobDeltaMsg>()) {
+    cg_.addMessage(delta->msg, delta->deps);
+    updatePromote();
+    return;
+  }
+  if (const auto* promote = msg.as<EtobPromoteMsg>()) {
+    // Adopt the sequence only if it comes from the process this module's
+    // Omega currently trusts, and only in send order (stale reordered
+    // promotes from the same sender are discarded).
+    if (ctx.fd.leader == from && promote->epoch > adoptedEpoch_[from]) {
+      adoptedEpoch_[from] = promote->epoch;
+      d_.clear();
+      d_.reserve(promote->seq.size());
+      for (const AppMsg& m : promote->seq) {
+        d_.push_back(m.id);
+        if (!cg_.contains(m.id)) adoptedBodies_.emplace(m.id, m);
+      }
+      fx.deliverSequence(d_);
+    }
+    return;
+  }
+}
+
+void EtobAutomaton::onTimeout(const StepContext& ctx, Effects& fx) {
+  const bool isLeader = ctx.fd.leader == ctx.self;
+  if (!isLeader) {
+    wasLeader_ = false;
+    return;
+  }
+  ++lambdasSincePromote_;
+  if (config_.promoteRefreshEvery > 1) {
+    const bool changed = promote_ != lastPromoted_;
+    const bool justElected = !wasLeader_;
+    const bool refreshDue = lambdasSincePromote_ >= config_.promoteRefreshEvery;
+    wasLeader_ = true;
+    if (!changed && !justElected && !refreshDue) return;
+  }
+  wasLeader_ = true;
+  lambdasSincePromote_ = 0;
+  lastPromoted_ = promote_;
+  std::vector<AppMsg> seq;
+  seq.reserve(promote_.size());
+  std::size_t weight = 2;
+  for (MsgId id : promote_) {
+    seq.push_back(cg_.message(id));
+    weight += 2 + seq.back().body.size();
+  }
+  fx.broadcast(Payload::of(EtobPromoteMsg{std::move(seq), ++promoteEpoch_}),
+               weight);
+}
+
+const AppMsg* EtobAutomaton::findMessage(MsgId id) const {
+  if (cg_.contains(id)) return &cg_.message(id);
+  auto it = adoptedBodies_.find(id);
+  return it == adoptedBodies_.end() ? nullptr : &it->second;
+}
+
+void EtobAutomaton::updatePromote() {
+  promote_ = cg_.extendPromote(promote_);
+}
+
+}  // namespace wfd

@@ -1,0 +1,111 @@
+// Algorithm 5 (ET OB): eventual total order broadcast directly from Omega,
+// correct in ANY environment — the paper's constructive side of Theorem 2
+// combined with Theorem 1.
+//
+// Behaviour per the paper:
+//  * broadcastETOB(m, C(m))  -> UpdateCG(m, C(m)); send update(CG_i) to all
+//  * on update(CG_j)         -> UnionCG(CG_j); UpdatePromote()
+//  * on promote(seq) from p_j-> if Omega_i = p_j then d_i := seq
+//  * on local timeout        -> if Omega_i = p_i then send promote(promote_i)
+//
+// Headline properties (benched in E1..E5):
+//  (P1) two communication steps per delivery under a stable leader;
+//  (P2) strong TOB if Omega is stable from the very beginning;
+//  (P3) causal order always, even while Omega outputs differ across
+//       processes.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "etob/causality_graph.h"
+#include "sim/app_msg.h"
+#include "sim/automaton.h"
+
+namespace wfd {
+
+/// ETOB wire messages. promote carries full messages (the paper's
+/// promote(promote_i) is a sequence of messages, content included), so an
+/// adopter always knows the content of everything in its d_i even if the
+/// corresponding update hasn't reached it yet. `epoch` is a per-sender
+/// send counter: links in the model are reliable but not FIFO, so without
+/// it a stale (shorter) promote could overwrite a newer one after
+/// arriving late — which would break the paper's property (2) (strong TOB
+/// under an always-stable leader). The paper's Lemma 3 implicitly adopts
+/// promotes in send order; the epoch guard realizes that over non-FIFO
+/// links. See DESIGN.md.
+struct EtobUpdateMsg {
+  CausalityGraph cg;
+};
+struct EtobPromoteMsg {
+  std::vector<AppMsg> seq;
+  std::uint64_t epoch = 0;
+};
+/// Delta update: one new message plus its dependency ids. The paper's
+/// update(CG_i) carries the whole graph; since a broadcast step is atomic
+/// (every copy enqueued at once) a per-message delta reconstructs the
+/// same CG at every receiver — the E9 ablation measures the weight gap.
+struct EtobDeltaMsg {
+  AppMsg msg;
+  std::vector<MsgId> deps;
+};
+
+struct EtobConfig {
+  CgEdgeMode edgeMode = CgEdgeMode::kFullPaper;
+  /// If true, C(m) is extended with every message the sender currently
+  /// knows (everything in CG_i) — the strongest sound causal context,
+  /// matching the paper's happened-before relation ->_R exactly.
+  bool autoCausal = true;
+  /// If true, broadcasts EtobDeltaMsg instead of the paper's full-graph
+  /// update(CG_i). Behaviour-preserving; weight-saving.
+  bool deltaUpdates = false;
+  /// Leader promote cadence: 1 = the paper's "on every local timeout".
+  /// N > 1 = promote when the sequence changed, when leadership was just
+  /// (re)acquired, or at least every N λ-steps (the refresh keeps the
+  /// convergence bound at τ_Ω + N·Δ_t + Δ_c).
+  std::uint64_t promoteRefreshEvery = 1;
+};
+
+/// Process-local ET OB automaton.
+class EtobAutomaton final : public CloneableAutomaton<EtobAutomaton> {
+ public:
+  explicit EtobAutomaton(EtobConfig config = {});
+
+  void onInput(const StepContext& ctx, const Payload& input, Effects& fx) override;
+  void onMessage(const StepContext& ctx, ProcessId from, const Payload& msg,
+                 Effects& fx) override;
+  void onTimeout(const StepContext& ctx, Effects& fx) override;
+
+  /// Content of a message this process knows (from its causality graph or
+  /// from an adopted promote sequence); nullptr if unknown. Part of the
+  /// BroadcastAutomatonLike concept used by the ETOB->EC transformation.
+  const AppMsg* findMessage(MsgId id) const;
+
+  /// Test/bench introspection.
+  const std::vector<MsgId>& delivered() const { return d_; }
+  const std::vector<MsgId>& promoteSequence() const { return promote_; }
+  const CausalityGraph& causalityGraph() const { return cg_; }
+
+ private:
+  void updatePromote();
+
+  EtobConfig config_;
+  std::vector<MsgId> d_;        // output variable d_i
+  std::vector<MsgId> promote_;  // promote_i
+  CausalityGraph cg_;           // CG_i
+  /// Bodies learned from adopted promote sequences whose update messages
+  /// haven't arrived yet (the CG itself stays edge-consistent).
+  std::unordered_map<MsgId, AppMsg> adoptedBodies_;
+  /// Per-sender promote counters: own (outgoing) and the highest adopted
+  /// from each peer (stale reordered promotes are discarded).
+  std::uint64_t promoteEpoch_ = 0;
+  std::unordered_map<ProcessId, std::uint64_t> adoptedEpoch_;
+  /// Promote-suppression state (promoteRefreshEvery > 1).
+  std::vector<MsgId> lastPromoted_;
+  std::uint64_t lambdasSincePromote_ = 0;
+  bool wasLeader_ = false;
+};
+
+}  // namespace wfd

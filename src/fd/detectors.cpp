@@ -1,0 +1,170 @@
+#include "fd/detectors.h"
+
+#include <algorithm>
+
+#include "common/ensure.h"
+
+namespace wfd {
+namespace {
+
+/// splitmix64 — stateless pseudo-random hash used where an oracle needs
+/// deterministic "noise" as a pure function of (seed, p, t).
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+OmegaFd::OmegaFd(FailurePattern pattern, Time stabilizeAt,
+                 OmegaPreStabilization mode, Time rotationPeriod, ProcessId leader)
+    : pattern_(std::move(pattern)),
+      stabilizeAt_(stabilizeAt),
+      mode_(mode),
+      rotationPeriod_(rotationPeriod),
+      leader_(leader == kNoProcess ? pattern_.lowestCorrect() : leader) {
+  WFD_ENSURE(rotationPeriod_ >= 1);
+  WFD_ENSURE_MSG(leader_ != kNoProcess, "Omega needs at least one correct process");
+  WFD_ENSURE_MSG(pattern_.correct(leader_),
+                 "the eventual Omega leader must be a correct process");
+}
+
+FdValue OmegaFd::valueAt(ProcessId p, Time t) const {
+  WFD_ENSURE(p < pattern_.size());
+  FdValue v;
+  if (t >= stabilizeAt_) {
+    v.leader = leader_;
+    return v;
+  }
+  switch (mode_) {
+    case OmegaPreStabilization::kStable:
+      v.leader = leader_;
+      break;
+    case OmegaPreStabilization::kRotating:
+      v.leader = static_cast<ProcessId>((t / rotationPeriod_) % pattern_.size());
+      break;
+    case OmegaPreStabilization::kSplitBrain:
+      // Each process trusts a leader derived from its own id, shifting
+      // slowly with time — distinct processes disagree almost always.
+      v.leader = static_cast<ProcessId>((p + t / rotationPeriod_) % pattern_.size());
+      break;
+  }
+  return v;
+}
+
+std::string OmegaFd::name() const {
+  return "Omega(tau=" + std::to_string(stabilizeAt_) + ")";
+}
+
+SigmaFd::SigmaFd(FailurePattern pattern, Time stabilizeAt)
+    : pattern_(std::move(pattern)), stabilizeAt_(stabilizeAt) {
+  for (ProcessId p = 0; p < pattern_.size(); ++p) everyone_.push_back(p);
+  correct_ = pattern_.correctSet();
+  WFD_ENSURE_MSG(!correct_.empty(), "Sigma needs at least one correct process");
+}
+
+FdValue SigmaFd::valueAt(ProcessId p, Time t) const {
+  WFD_ENSURE(p < pattern_.size());
+  FdValue v;
+  v.quorum = t >= stabilizeAt_ ? correct_ : everyone_;
+  return v;
+}
+
+std::string SigmaFd::name() const {
+  return "Sigma(tau=" + std::to_string(stabilizeAt_) + ")";
+}
+
+PerfectFd::PerfectFd(FailurePattern pattern, Time detectionLag)
+    : pattern_(std::move(pattern)), lag_(detectionLag) {}
+
+FdValue PerfectFd::valueAt(ProcessId p, Time t) const {
+  WFD_ENSURE(p < pattern_.size());
+  FdValue v;
+  for (ProcessId q = 0; q < pattern_.size(); ++q) {
+    const Time ct = pattern_.crashTime(q);
+    if (ct != FailurePattern::kNever && ct + lag_ <= t) v.suspects.push_back(q);
+  }
+  return v;
+}
+
+std::string PerfectFd::name() const { return "P(lag=" + std::to_string(lag_) + ")"; }
+
+EventuallyPerfectFd::EventuallyPerfectFd(FailurePattern pattern, Time stabilizeAt,
+                                         std::uint64_t seed)
+    : pattern_(std::move(pattern)), stabilizeAt_(stabilizeAt), seed_(seed) {}
+
+FdValue EventuallyPerfectFd::valueAt(ProcessId p, Time t) const {
+  WFD_ENSURE(p < pattern_.size());
+  FdValue v;
+  for (ProcessId q = 0; q < pattern_.size(); ++q) {
+    if (pattern_.crashed(q, t)) {
+      v.suspects.push_back(q);
+      continue;
+    }
+    if (t < stabilizeAt_ && q != p) {
+      // Pre-stabilization false suspicion, stable over short windows so
+      // protocols can observe (and act on) the mistakes.
+      const std::uint64_t window = t / 64;
+      if (mix(seed_ ^ (p * 0x10001ULL) ^ (q * 0x101ULL) ^ window) % 4 == 0) {
+        v.suspects.push_back(q);
+      }
+    }
+  }
+  return v;
+}
+
+std::string EventuallyPerfectFd::name() const {
+  return "<>P(tau=" + std::to_string(stabilizeAt_) + ")";
+}
+
+OmegaSigmaFd::OmegaSigmaFd(std::shared_ptr<const OmegaFd> omega,
+                           std::shared_ptr<const SigmaFd> sigma)
+    : omega_(std::move(omega)), sigma_(std::move(sigma)) {
+  WFD_ENSURE(omega_ != nullptr && sigma_ != nullptr);
+}
+
+FdValue OmegaSigmaFd::valueAt(ProcessId p, Time t) const {
+  FdValue v = omega_->valueAt(p, t);
+  v.quorum = sigma_->valueAt(p, t).quorum;
+  return v;
+}
+
+std::string OmegaSigmaFd::name() const {
+  return omega_->name() + "+" + sigma_->name();
+}
+
+ScriptedFd::ScriptedFd(Script script, std::string name)
+    : script_(std::move(script)), name_(std::move(name)) {
+  WFD_ENSURE(static_cast<bool>(script_));
+}
+
+FdValue ScriptedFd::valueAt(ProcessId p, Time t) const { return script_(p, t); }
+
+std::string ScriptedFd::name() const { return name_; }
+
+OmegaFromEventuallyPerfect::OmegaFromEventuallyPerfect(
+    std::shared_ptr<const EventuallyPerfectFd> inner, std::size_t processCount)
+    : inner_(std::move(inner)), processCount_(processCount) {
+  WFD_ENSURE(inner_ != nullptr);
+}
+
+FdValue OmegaFromEventuallyPerfect::valueAt(ProcessId p, Time t) const {
+  const FdValue inner = inner_->valueAt(p, t);
+  FdValue v;
+  v.leader = p;  // fallback: trust self if everyone else is suspected
+  for (ProcessId q = 0; q < processCount_; ++q) {
+    if (!std::binary_search(inner.suspects.begin(), inner.suspects.end(), q)) {
+      v.leader = q;
+      break;
+    }
+  }
+  return v;
+}
+
+std::string OmegaFromEventuallyPerfect::name() const {
+  return "Omega<-" + inner_->name();
+}
+
+}  // namespace wfd

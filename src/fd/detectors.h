@@ -1,0 +1,153 @@
+// Concrete failure detector oracles.
+//
+// Each oracle deterministically computes one history H in D(F) from the
+// failure pattern F and its parameters. Protocols never see F — only the
+// per-step FdValue samples. The interesting knob everywhere is the
+// stabilization time: the paper's results hinge on what happens *before*
+// detectors stabilize (divergent Omega outputs model partition periods).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "sim/failure_pattern.h"
+#include "sim/fd_interface.h"
+
+namespace wfd {
+
+/// How an Omega oracle behaves before its stabilization time tau_Omega.
+enum class OmegaPreStabilization {
+  /// Outputs the eventual leader from time 0 (tau_Omega is effectively 0).
+  /// Under this history Algorithm 5 implements *strong* TOB (paper §5).
+  kStable,
+  /// All processes agree on a leader that rotates over the whole process
+  /// set (including crashed processes) every rotationPeriod ticks.
+  kRotating,
+  /// Every process trusts a different leader (derived from its own id and
+  /// the time) — models partition periods where elections disagree.
+  kSplitBrain,
+};
+
+/// The eventual leader failure detector Omega: eventually outputs the same
+/// correct process at every correct process, forever.
+class OmegaFd final : public FailureDetector {
+ public:
+  /// `stabilizeAt` is tau_Omega; `leader` defaults to the lowest-id
+  /// correct process of the pattern.
+  OmegaFd(FailurePattern pattern, Time stabilizeAt,
+          OmegaPreStabilization mode = OmegaPreStabilization::kSplitBrain,
+          Time rotationPeriod = 97, ProcessId leader = kNoProcess);
+
+  FdValue valueAt(ProcessId p, Time t) const override;
+  std::string name() const override;
+
+  Time stabilizeAt() const { return stabilizeAt_; }
+  ProcessId eventualLeader() const { return leader_; }
+
+ private:
+  FailurePattern pattern_;
+  Time stabilizeAt_;
+  OmegaPreStabilization mode_;
+  Time rotationPeriod_;
+  ProcessId leader_;
+};
+
+/// The quorum failure detector Sigma: any two output quorums (any
+/// processes, any times) intersect; eventually quorums at correct
+/// processes contain only correct processes. This oracle outputs Pi
+/// before `stabilizeAt` and correct(F) afterwards — a valid Sigma history
+/// in every environment with at least one correct process.
+class SigmaFd final : public FailureDetector {
+ public:
+  SigmaFd(FailurePattern pattern, Time stabilizeAt);
+
+  FdValue valueAt(ProcessId p, Time t) const override;
+  std::string name() const override;
+
+ private:
+  FailurePattern pattern_;
+  Time stabilizeAt_;
+  std::vector<ProcessId> everyone_;
+  std::vector<ProcessId> correct_;
+};
+
+/// The perfect failure detector P: suspects exactly the crashed processes,
+/// with an optional fixed detection lag (strong accuracy + completeness).
+class PerfectFd final : public FailureDetector {
+ public:
+  PerfectFd(FailurePattern pattern, Time detectionLag = 0);
+
+  FdValue valueAt(ProcessId p, Time t) const override;
+  std::string name() const override;
+
+ private:
+  FailurePattern pattern_;
+  Time lag_;
+};
+
+/// The eventually perfect failure detector ◊P: before `stabilizeAt` it may
+/// wrongly suspect alive processes (pseudo-random, deterministic in
+/// (seed, p, t)); afterwards it suspects exactly the crashed processes.
+class EventuallyPerfectFd final : public FailureDetector {
+ public:
+  EventuallyPerfectFd(FailurePattern pattern, Time stabilizeAt,
+                      std::uint64_t seed = 7);
+
+  FdValue valueAt(ProcessId p, Time t) const override;
+  std::string name() const override;
+
+ private:
+  FailurePattern pattern_;
+  Time stabilizeAt_;
+  std::uint64_t seed_;
+};
+
+/// The composite Omega + Sigma — the weakest failure detector for strong
+/// consistency in any environment [8]. Fills both `leader` and `quorum`.
+class OmegaSigmaFd final : public FailureDetector {
+ public:
+  OmegaSigmaFd(std::shared_ptr<const OmegaFd> omega,
+               std::shared_ptr<const SigmaFd> sigma);
+
+  FdValue valueAt(ProcessId p, Time t) const override;
+  std::string name() const override;
+
+ private:
+  std::shared_ptr<const OmegaFd> omega_;
+  std::shared_ptr<const SigmaFd> sigma_;
+};
+
+/// Fully scripted history — used by CHT tests to drive exact scenarios.
+class ScriptedFd final : public FailureDetector {
+ public:
+  using Script = std::function<FdValue(ProcessId, Time)>;
+  ScriptedFd(Script script, std::string name);
+
+  FdValue valueAt(ProcessId p, Time t) const override;
+  std::string name() const override;
+
+ private:
+  Script script_;
+  std::string name_;
+};
+
+/// Derives an Omega history from an eventually-perfect history the
+/// classical way: trust the smallest non-suspected process. Valid because
+/// after ◊P stabilizes, all correct processes compute the same smallest
+/// alive (hence correct) process.
+class OmegaFromEventuallyPerfect final : public FailureDetector {
+ public:
+  explicit OmegaFromEventuallyPerfect(
+      std::shared_ptr<const EventuallyPerfectFd> inner, std::size_t processCount);
+
+  FdValue valueAt(ProcessId p, Time t) const override;
+  std::string name() const override;
+
+ private:
+  std::shared_ptr<const EventuallyPerfectFd> inner_;
+  std::size_t processCount_;
+};
+
+}  // namespace wfd

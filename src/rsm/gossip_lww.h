@@ -1,0 +1,67 @@
+// Naive eventually consistent store: anti-entropy gossip with
+// last-writer-wins conflict resolution (Lamport timestamps).
+//
+// This is the "eventual consistency as deployed" strawman (Dynamo-style
+// [7]): it converges, but it provides neither total order nor causal
+// order — the E5 bench counts its causal inversions against ETOB's zero.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/app_msg.h"
+#include "sim/automaton.h"
+
+namespace wfd {
+
+/// Output event: this replica applied (or adopted via gossip) an update.
+/// The per-process sequence of GossipApplied events is the store's local
+/// "delivery order" compared against causal dependencies in E5.
+struct GossipApplied {
+  MsgId id = 0;
+  std::uint64_t key = 0;
+};
+
+class GossipLwwStore final : public CloneableAutomaton<GossipLwwStore> {
+ public:
+  struct Entry {
+    std::uint64_t value = 0;
+    std::uint64_t timestamp = 0;  // Lamport clock, ties by origin
+    ProcessId origin = kNoProcess;
+    MsgId sourceMsg = 0;
+
+    bool newerThan(const Entry& other) const {
+      if (timestamp != other.timestamp) return timestamp > other.timestamp;
+      return origin > other.origin;
+    }
+    bool operator==(const Entry&) const = default;
+  };
+
+  /// Input: BroadcastInput whose AppMsg body is {kPut, key, value}.
+  void onInput(const StepContext& ctx, const Payload& input, Effects& fx) override;
+  /// Gossip merge.
+  void onMessage(const StepContext& ctx, ProcessId from, const Payload& msg,
+                 Effects& fx) override;
+  /// Anti-entropy: broadcast the full table every λ-step.
+  void onTimeout(const StepContext& ctx, Effects& fx) override;
+
+  const std::map<std::uint64_t, Entry>& table() const { return table_; }
+  bool sameTable(const GossipLwwStore& other) const { return table_ == other.table_; }
+
+ private:
+  void adopt(std::uint64_t key, const Entry& entry, Effects& fx);
+
+  std::map<std::uint64_t, Entry> table_;
+  std::set<MsgId> seen_;
+  std::uint64_t clock_ = 0;
+};
+
+/// Gossip wire message: the sender's full table.
+struct GossipStateMsg {
+  std::map<std::uint64_t, GossipLwwStore::Entry> table;
+};
+
+}  // namespace wfd

@@ -1,0 +1,48 @@
+#include "rsm/state_machines.h"
+
+#include "common/ensure.h"
+
+namespace wfd {
+
+void KvStore::apply(const Command& cmd) {
+  WFD_ENSURE(!cmd.empty());
+  ++applied_;
+  switch (static_cast<SmOp>(cmd[0])) {
+    case SmOp::kPut:
+      WFD_ENSURE(cmd.size() == 3);
+      table_[cmd[1]] = cmd[2];
+      break;
+    case SmOp::kDel:
+      WFD_ENSURE(cmd.size() == 2);
+      table_.erase(cmd[1]);
+      break;
+    default:
+      break;  // foreign opcodes are ignored, not errors (mixed workloads)
+  }
+}
+
+std::optional<std::uint64_t> KvStore::get(std::uint64_t key) const {
+  auto it = table_.find(key);
+  if (it == table_.end()) return std::nullopt;
+  return it->second;
+}
+
+void CounterSm::apply(const Command& cmd) {
+  WFD_ENSURE(!cmd.empty());
+  ++applied_;
+  if (static_cast<SmOp>(cmd[0]) == SmOp::kAdd) {
+    WFD_ENSURE(cmd.size() == 2);
+    value_ += static_cast<std::int64_t>(cmd[1]);
+  }
+}
+
+void JournalSm::apply(const Command& cmd) {
+  WFD_ENSURE(!cmd.empty());
+  ++applied_;
+  if (static_cast<SmOp>(cmd[0]) == SmOp::kAppend) {
+    WFD_ENSURE(cmd.size() == 2);
+    entries_.push_back(cmd[1]);
+  }
+}
+
+}  // namespace wfd

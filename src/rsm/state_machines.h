@@ -1,0 +1,78 @@
+// Deterministic state machines replicated over a broadcast service.
+//
+// Commands are flat word sequences (they travel inside AppMsg bodies):
+//   {kPut, key, value} | {kDel, key} | {kAdd, delta} | {kAppend, tag}
+// Every machine is a regular value type so replicas can compare states
+// for convergence checks.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace wfd {
+
+/// Command opcodes.
+enum class SmOp : std::uint64_t { kPut = 1, kDel = 2, kAdd = 3, kAppend = 4 };
+
+using Command = std::vector<std::uint64_t>;
+
+inline Command makePut(std::uint64_t key, std::uint64_t value) {
+  return {static_cast<std::uint64_t>(SmOp::kPut), key, value};
+}
+inline Command makeDel(std::uint64_t key) {
+  return {static_cast<std::uint64_t>(SmOp::kDel), key};
+}
+inline Command makeAdd(std::uint64_t delta) {
+  return {static_cast<std::uint64_t>(SmOp::kAdd), delta};
+}
+inline Command makeAppend(std::uint64_t tag) {
+  return {static_cast<std::uint64_t>(SmOp::kAppend), tag};
+}
+
+/// Replicated key-value store (the Dynamo-style motivating service).
+class KvStore {
+ public:
+  void apply(const Command& cmd);
+  std::optional<std::uint64_t> get(std::uint64_t key) const;
+  std::size_t size() const { return table_.size(); }
+  std::uint64_t appliedCount() const { return applied_; }
+  bool operator==(const KvStore& other) const { return table_ == other.table_; }
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> table_;
+  std::uint64_t applied_ = 0;
+};
+
+/// Replicated counter (order-insensitive for kAdd — useful to contrast
+/// with order-sensitive machines).
+class CounterSm {
+ public:
+  void apply(const Command& cmd);
+  std::int64_t value() const { return value_; }
+  std::uint64_t appliedCount() const { return applied_; }
+  bool operator==(const CounterSm& other) const { return value_ == other.value_; }
+
+ private:
+  std::int64_t value_ = 0;
+  std::uint64_t applied_ = 0;
+};
+
+/// Replicated append-only journal (maximally order-sensitive: equal states
+/// imply identical command order).
+class JournalSm {
+ public:
+  void apply(const Command& cmd);
+  const std::vector<std::uint64_t>& entries() const { return entries_; }
+  std::uint64_t appliedCount() const { return applied_; }
+  bool operator==(const JournalSm& other) const { return entries_ == other.entries_; }
+
+ private:
+  std::vector<std::uint64_t> entries_;
+  std::uint64_t applied_ = 0;
+};
+
+}  // namespace wfd

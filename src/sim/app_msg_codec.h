@@ -1,0 +1,50 @@
+// Flat encoding of application-message sequences into EC Values.
+//
+// Algorithm 1 proposes whole message sequences to EC; the sequences must
+// carry message content so that any process adopting a decided sequence
+// knows every message in it (its own push(m) copies may still be in
+// flight).
+#pragma once
+
+#include <vector>
+
+#include "common/ensure.h"
+#include "common/types.h"
+#include "sim/app_msg.h"
+
+namespace wfd {
+
+inline Value encodeAppMsgSeq(const std::vector<AppMsg>& seq) {
+  Value out;
+  out.push_back(seq.size());
+  for (const AppMsg& m : seq) {
+    out.push_back(m.id);
+    out.push_back(m.origin);
+    out.push_back(m.body.size());
+    out.insert(out.end(), m.body.begin(), m.body.end());
+  }
+  return out;
+}
+
+inline std::vector<AppMsg> decodeAppMsgSeq(const Value& encoded) {
+  WFD_ENSURE(!encoded.empty());
+  std::size_t pos = 0;
+  const std::uint64_t count = encoded[pos++];
+  std::vector<AppMsg> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    WFD_ENSURE(pos + 3 <= encoded.size());
+    AppMsg m;
+    m.id = encoded[pos++];
+    m.origin = static_cast<ProcessId>(encoded[pos++]);
+    const std::uint64_t len = encoded[pos++];
+    WFD_ENSURE(pos + len <= encoded.size());
+    m.body.assign(encoded.begin() + pos, encoded.begin() + pos + len);
+    pos += len;
+    out.push_back(std::move(m));
+  }
+  WFD_ENSURE_MSG(pos == encoded.size(), "trailing bytes in encoded message sequence");
+  return out;
+}
+
+}  // namespace wfd

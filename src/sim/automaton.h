@@ -1,0 +1,117 @@
+// The deterministic process automaton A(p) and its step effects.
+//
+// The paper's step (p, m, d, A): process p atomically (1) receives one
+// message m (possibly the empty message λ) or an application input,
+// (2) queries its failure detector and obtains d, (3) transitions, and
+// (4) sends a message to every process and/or produces outputs. Here:
+//   * onMessage  — a step receiving a real message,
+//   * onTimeout  — a λ-step ("on local timeout" in the algorithms),
+//   * onInput    — a step accepting an application input.
+// Effects collects the sends/outputs of the step; the simulator applies
+// them atomically after the handler returns.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/fd_interface.h"
+#include "sim/message.h"
+#include "sim/payload.h"
+
+namespace wfd {
+
+/// Read-only context handed to every step.
+struct StepContext {
+  Time now = 0;
+  ProcessId self = kNoProcess;
+  std::size_t processCount = 0;
+  /// Failure detector value d obtained by this step's query.
+  FdValue fd;
+};
+
+/// One outbound message of a step. `weight` is an abstract size (in
+/// words) used by the ablation benches to compare gossip footprints —
+/// it does not affect scheduling.
+struct OutboundMsg {
+  ProcessId to = kNoProcess;  // kBroadcast => every process
+  Payload payload;
+  std::size_t weight = 1;
+};
+
+/// Collector for the sends and outputs of a single step.
+class Effects {
+ public:
+  /// Sends a payload to every process, including the sender (the paper's
+  /// step semantics).
+  void broadcast(Payload p, std::size_t weight = 1) {
+    sends_.push_back(OutboundMsg{kBroadcast, std::move(p), weight});
+  }
+
+  /// Sends a payload to one process (used by the quorum-based baseline).
+  void send(ProcessId to, Payload p, std::size_t weight = 1) {
+    sends_.push_back(OutboundMsg{to, std::move(p), weight});
+  }
+
+  /// Produces an append-only application output (e.g. an EC decision).
+  void output(Payload p) { outputs_.push_back(std::move(p)); }
+
+  /// Overwrites the process's delivery-sequence output variable d_i.
+  /// ETOB semantics allow rewriting (messages delivered but not yet
+  /// stably delivered may disappear or move).
+  void deliverSequence(std::vector<MsgId> seq) { delivered_ = std::move(seq); }
+
+  /// Introspection — used by the simulator, by composing automata
+  /// (transformations embed sub-protocols) and by the CHT simulator.
+  const std::vector<OutboundMsg>& sends() const { return sends_; }
+  const std::vector<Payload>& outputs() const { return outputs_; }
+  const std::optional<std::vector<MsgId>>& delivered() const { return delivered_; }
+
+  void clear() {
+    sends_.clear();
+    outputs_.clear();
+    delivered_.reset();
+  }
+
+ private:
+  std::vector<OutboundMsg> sends_;
+  std::vector<Payload> outputs_;
+  std::optional<std::vector<MsgId>> delivered_;
+};
+
+/// Deterministic automaton A(p). Implementations must hold value-semantic
+/// state only: clone() must produce an independent deep copy (the CHT
+/// reduction replays cloned automata along simulated schedules).
+class Automaton {
+ public:
+  virtual ~Automaton() = default;
+
+  /// Deep copy of the current state.
+  virtual std::unique_ptr<Automaton> clone() const = 0;
+
+  /// Step accepting an application input (propose / broadcast call).
+  virtual void onInput(const StepContext& ctx, const Payload& input, Effects& fx);
+
+  /// Step receiving a message from `from`.
+  virtual void onMessage(const StepContext& ctx, ProcessId from, const Payload& msg,
+                         Effects& fx) = 0;
+
+  /// λ-step: periodic "on local timeout" handler.
+  virtual void onTimeout(const StepContext& ctx, Effects& fx);
+};
+
+inline void Automaton::onInput(const StepContext&, const Payload&, Effects&) {}
+inline void Automaton::onTimeout(const StepContext&, Effects&) {}
+
+/// CRTP helper implementing clone() via the derived copy constructor.
+template <typename Derived>
+class CloneableAutomaton : public Automaton {
+ public:
+  std::unique_ptr<Automaton> clone() const override {
+    return std::make_unique<Derived>(static_cast<const Derived&>(*this));
+  }
+};
+
+}  // namespace wfd

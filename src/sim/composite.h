@@ -1,0 +1,46 @@
+// Support for composing automata: the paper's transformations (Algorithms
+// 1, 2, 6, 7) run a sub-protocol as a black box inside another protocol.
+//
+// The parent runs the child into a private Effects object, then relays the
+// child's sends wrapped in a channel tag so incoming messages can be
+// routed back to the child. Outputs of the child are interpreted by the
+// parent (e.g. an inner EC decision drives the outer ETOB delivery).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "sim/automaton.h"
+
+namespace wfd {
+
+/// A message belonging to an embedded sub-protocol.
+struct Tagged {
+  std::uint32_t channel = 0;
+  Payload inner;
+};
+
+/// Relays the child's sends into the parent's effects, wrapped with the
+/// channel tag. Outputs and delivery sequences are NOT relayed — the
+/// parent decides what they mean.
+inline void relayChildSends(Effects& parent, std::uint32_t channel,
+                            const Effects& child) {
+  for (const OutboundMsg& m : child.sends()) {
+    Payload wrapped = Payload::of(Tagged{channel, m.payload});
+    if (m.to == kBroadcast) {
+      parent.broadcast(std::move(wrapped), m.weight);
+    } else {
+      parent.send(m.to, std::move(wrapped), m.weight);
+    }
+  }
+}
+
+/// If `msg` is a Tagged payload for `channel`, returns the inner payload;
+/// otherwise nullptr.
+inline const Payload* unwrapChannel(const Payload& msg, std::uint32_t channel) {
+  const auto* tagged = msg.as<Tagged>();
+  if (tagged == nullptr || tagged->channel != channel) return nullptr;
+  return &tagged->inner;
+}
+
+}  // namespace wfd

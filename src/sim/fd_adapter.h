@@ -1,0 +1,65 @@
+// Adapter that rewrites the failure-detector value seen by an inner
+// automaton — e.g. deriving an Omega leader from an eventually-perfect
+// suspect list so that Algorithm 4 can run over ◊P histories (used by the
+// CHT necessity experiments: any D solving EC, not just Omega).
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+#include "sim/automaton.h"
+
+namespace wfd {
+
+/// Maps an FdValue to the FdValue the inner automaton should see.
+using FdValueMapper = std::function<FdValue(const FdValue&, const StepContext&)>;
+
+/// The classical ◊P -> Omega reduction: trust the smallest non-suspected
+/// process (falling back to self if everyone is suspected).
+inline FdValueMapper leaderFromSuspects() {
+  return [](const FdValue& in, const StepContext& ctx) {
+    FdValue out = in;
+    out.leader = ctx.self;
+    for (ProcessId q = 0; q < ctx.processCount; ++q) {
+      if (!std::binary_search(in.suspects.begin(), in.suspects.end(), q)) {
+        out.leader = q;
+        break;
+      }
+    }
+    return out;
+  };
+}
+
+template <typename Inner>
+class FdAdaptedAutomaton final
+    : public CloneableAutomaton<FdAdaptedAutomaton<Inner>> {
+ public:
+  FdAdaptedAutomaton(Inner inner, FdValueMapper mapper)
+      : inner_(std::move(inner)), mapper_(std::move(mapper)) {}
+
+  void onInput(const StepContext& ctx, const Payload& input, Effects& fx) override {
+    inner_.onInput(mapped(ctx), input, fx);
+  }
+  void onMessage(const StepContext& ctx, ProcessId from, const Payload& msg,
+                 Effects& fx) override {
+    inner_.onMessage(mapped(ctx), from, msg, fx);
+  }
+  void onTimeout(const StepContext& ctx, Effects& fx) override {
+    inner_.onTimeout(mapped(ctx), fx);
+  }
+
+  const Inner& inner() const { return inner_; }
+
+ private:
+  StepContext mapped(const StepContext& ctx) const {
+    StepContext out = ctx;
+    out.fd = mapper_(ctx.fd, ctx);
+    return out;
+  }
+
+  Inner inner_;
+  FdValueMapper mapper_;
+};
+
+}  // namespace wfd

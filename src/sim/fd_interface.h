@@ -1,0 +1,59 @@
+// Failure detector abstraction: values and histories H(p, t).
+//
+// A failure detector D maps a failure pattern F to a set of histories;
+// a concrete oracle here computes one deterministic history per
+// (pattern, parameters, seed). Protocols only ever see FdValue samples
+// through StepContext — the oracle itself is allowed to look at F, as in
+// the formal definition.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/types.h"
+
+namespace wfd {
+
+/// A single failure detector module output d.
+///
+/// One aggregate covers every detector in this library: Omega uses
+/// `leader`, Sigma uses `quorum`, P / eventually-P use `suspects`,
+/// composites use several fields. Unused fields keep their defaults so
+/// values stay comparable and hashable (the CHT DAG keys on them).
+struct FdValue {
+  /// Omega component: id of the current trusted leader.
+  ProcessId leader = kNoProcess;
+  /// Sigma component: current quorum, sorted ascending.
+  std::vector<ProcessId> quorum;
+  /// P / eventually-P component: currently suspected processes, sorted.
+  std::vector<ProcessId> suspects;
+
+  /// Equality plus a canonical total order (the CHT reduction sorts
+  /// failure-detector samples into a process-independent order).
+  auto operator<=>(const FdValue&) const = default;
+};
+
+struct FdValueHash {
+  std::size_t operator()(const FdValue& v) const {
+    std::size_t seed = std::hash<ProcessId>{}(v.leader);
+    hashCombine(seed, hashVector(v.quorum));
+    hashCombine(seed, hashVector(v.suspects));
+    return seed;
+  }
+};
+
+/// A failure detector history: deterministic map (p, t) -> FdValue.
+class FailureDetector {
+ public:
+  virtual ~FailureDetector() = default;
+
+  /// The value output by p's module at time t, i.e. H(p, t).
+  virtual FdValue valueAt(ProcessId p, Time t) const = 0;
+
+  /// Human-readable detector name, for diagnostics and bench tables.
+  virtual std::string name() const = 0;
+};
+
+}  // namespace wfd

@@ -1,0 +1,25 @@
+// Network-level message envelope.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "sim/payload.h"
+
+namespace wfd {
+
+/// Target meaning "send to every process, including the sender" — the
+/// paper's step semantics sends the same message to all processes.
+inline constexpr ProcessId kBroadcast = kNoProcess;
+
+/// A message in transit on a reliable link.
+struct Message {
+  ProcessId from = kNoProcess;
+  ProcessId to = kNoProcess;
+  Payload payload;
+  Time sentAt = 0;
+  /// Unique per-run network identifier (assigned by the simulator).
+  std::uint64_t uid = 0;
+};
+
+}  // namespace wfd

@@ -1,0 +1,186 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+#include "common/ensure.h"
+
+namespace wfd {
+
+Simulator::Simulator(SimConfig config, FailurePattern pattern,
+                     std::shared_ptr<const FailureDetector> detector)
+    : config_(config),
+      pattern_(std::move(pattern)),
+      detector_(std::move(detector)),
+      rng_(config.seed),
+      automata_(config.processCount),
+      trace_(config.processCount, config.keepDeliverySnapshots) {
+  WFD_ENSURE(config_.processCount >= 2);
+  WFD_ENSURE(pattern_.size() == config_.processCount);
+  WFD_ENSURE(detector_ != nullptr);
+  WFD_ENSURE(config_.minDelay >= 1 && config_.minDelay <= config_.maxDelay);
+  WFD_ENSURE(config_.timeoutPeriod >= 1);
+}
+
+void Simulator::addProcess(ProcessId p, std::unique_ptr<Automaton> automaton) {
+  WFD_ENSURE(p < automata_.size());
+  WFD_ENSURE_MSG(!automata_[p], "process installed twice");
+  WFD_ENSURE(automaton != nullptr);
+  automata_[p] = std::move(automaton);
+}
+
+void Simulator::scheduleInput(ProcessId p, Time t, Payload input) {
+  WFD_ENSURE(p < automata_.size());
+  Event e;
+  e.time = t;
+  e.kind = EventKind::kInput;
+  e.target = p;
+  e.input = std::move(input);
+  push(std::move(e));
+}
+
+void Simulator::addDisruption(LinkDisruption d) {
+  WFD_ENSURE(d.start <= d.end);
+  WFD_ENSURE(static_cast<bool>(d.affects));
+  disruptions_.push_back(std::move(d));
+}
+
+void Simulator::push(Event e) {
+  e.seq = nextSeq_++;
+  events_.push(std::move(e));
+}
+
+void Simulator::ensureStarted() {
+  if (started_) return;
+  started_ = true;
+  for (ProcessId p = 0; p < automata_.size(); ++p) {
+    WFD_ENSURE_MSG(automata_[p] != nullptr, "missing automaton for a process");
+    Event e;
+    // Stagger initial λ-steps so symmetric protocols don't act in
+    // lock-step from time zero.
+    e.time = 1 + p;
+    e.kind = EventKind::kTimeout;
+    e.target = p;
+    push(std::move(e));
+  }
+}
+
+Time Simulator::deliveryTime(ProcessId from, ProcessId to, Time sentAt) {
+  Time delay = config_.fixedDelay
+                   ? config_.maxDelay
+                   : rng_.between(config_.minDelay, config_.maxDelay);
+  Time at = sentAt + delay;
+  // Partition windows defer delivery to the window end; windows may
+  // chain, so iterate to a fixed point (windows are finitely many).
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    for (const LinkDisruption& d : disruptions_) {
+      if (at >= d.start && at < d.end && d.affects(from, to)) {
+        at = d.end;
+        moved = true;
+      }
+    }
+  }
+  return at;
+}
+
+void Simulator::applyEffects(ProcessId self, Effects& fx) {
+  for (const OutboundMsg& out : fx.sends()) {
+    const auto sendOne = [&](ProcessId dest) {
+      Message m;
+      m.from = self;
+      m.to = dest;
+      m.payload = out.payload;
+      m.sentAt = now_;
+      m.uid = nextMsgUid_++;
+      Event e;
+      e.time = deliveryTime(self, dest, now_);
+      e.kind = EventKind::kMessage;
+      e.target = dest;
+      e.msg = std::move(m);
+      push(std::move(e));
+      trace_.countSend(out.weight);
+    };
+    if (out.to == kBroadcast) {
+      for (ProcessId dest = 0; dest < automata_.size(); ++dest) sendOne(dest);
+    } else {
+      WFD_ENSURE(out.to < automata_.size());
+      sendOne(out.to);
+    }
+  }
+  for (const Payload& out : fx.outputs()) {
+    trace_.recordOutput(self, now_, out);
+  }
+  if (fx.delivered().has_value()) {
+    trace_.recordDelivered(self, now_, *fx.delivered());
+  }
+}
+
+bool Simulator::processOne() {
+  if (events_.empty()) return false;
+  if (eventsProcessed_ >= config_.maxEvents) return false;
+  Event e = events_.top();
+  if (e.time > config_.maxTime) return false;
+  events_.pop();
+  now_ = std::max(now_, e.time);
+  ++eventsProcessed_;
+
+  const ProcessId p = e.target;
+  if (pattern_.crashed(p, now_)) {
+    // Crashed processes take no steps; their λ-steps stop being
+    // rescheduled and messages addressed to them vanish.
+    return true;
+  }
+
+  StepContext ctx;
+  ctx.now = now_;
+  ctx.self = p;
+  ctx.processCount = automata_.size();
+  ctx.fd = detector_->valueAt(p, now_);
+
+  Effects fx;
+  switch (e.kind) {
+    case EventKind::kMessage:
+      trace_.countDelivery();
+      automata_[p]->onMessage(ctx, e.msg.from, e.msg.payload, fx);
+      break;
+    case EventKind::kTimeout: {
+      automata_[p]->onTimeout(ctx, fx);
+      Event next;
+      next.time = now_ + config_.timeoutPeriod;
+      next.kind = EventKind::kTimeout;
+      next.target = p;
+      push(std::move(next));
+      break;
+    }
+    case EventKind::kInput:
+      automata_[p]->onInput(ctx, e.input, fx);
+      break;
+  }
+  trace_.countStep(p);
+  applyEffects(p, fx);
+  return true;
+}
+
+void Simulator::run() {
+  ensureStarted();
+  while (processOne()) {
+  }
+}
+
+bool Simulator::runUntil(const std::function<bool(const Simulator&)>& pred,
+                         std::uint64_t checkEvery) {
+  WFD_ENSURE(checkEvery >= 1);
+  ensureStarted();
+  if (pred(*this)) return true;
+  std::uint64_t sinceCheck = 0;
+  while (processOne()) {
+    if (++sinceCheck >= checkEvery) {
+      sinceCheck = 0;
+      if (pred(*this)) return true;
+    }
+  }
+  return pred(*this);
+}
+
+}  // namespace wfd

@@ -1,0 +1,135 @@
+// Deterministic discrete-event simulator of the paper's system model.
+//
+// Produces admissible runs: every correct process takes infinitely many
+// steps (periodic λ-steps with period Δ_t, the "local timeout"), and
+// every message sent to a correct process is eventually received (link
+// delay bounded by Δ_c; partition windows only defer delivery, never
+// drop). All nondeterminism is drawn from one seeded Rng, so a
+// (config, pattern, seed) triple fully determines the run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/automaton.h"
+#include "sim/failure_pattern.h"
+#include "sim/fd_interface.h"
+#include "sim/message.h"
+#include "sim/trace.h"
+
+namespace wfd {
+
+/// Scheduler parameters.
+struct SimConfig {
+  std::size_t processCount = 3;
+  std::uint64_t seed = 1;
+
+  /// Hard stop: no event at time > maxTime is processed.
+  Time maxTime = 200'000;
+  /// Hard stop on total processed events (runaway guard).
+  std::uint64_t maxEvents = 4'000'000;
+
+  /// λ-step period Δ_t ("local timeout" granularity).
+  Time timeoutPeriod = 10;
+  /// Link delay bounds [minDelay, maxDelay]; Δ_c = maxDelay.
+  Time minDelay = 40;
+  Time maxDelay = 60;
+  /// If true every message takes exactly maxDelay — used by the E1
+  /// latency experiment to count communication steps as latency/Δ_c.
+  bool fixedDelay = false;
+
+  /// Keep full d_i snapshot history in the trace (tests: yes, benches:
+  /// usually no — aggregates suffice).
+  bool keepDeliverySnapshots = true;
+};
+
+/// A partition window: messages on affected links sent or in flight
+/// during [start, end) are deferred until `end` (links stay reliable).
+struct LinkDisruption {
+  Time start = 0;
+  Time end = 0;
+  std::function<bool(ProcessId from, ProcessId to)> affects;
+};
+
+/// Discrete-event simulator. Owns the automata, the virtual clock, the
+/// in-flight message queue, and the run trace.
+class Simulator {
+ public:
+  Simulator(SimConfig config, FailurePattern pattern,
+            std::shared_ptr<const FailureDetector> detector);
+
+  /// Installs the automaton of process p. Must be called for every p
+  /// before running.
+  void addProcess(ProcessId p, std::unique_ptr<Automaton> automaton);
+
+  /// Schedules an application input for p at time t.
+  void scheduleInput(ProcessId p, Time t, Payload input);
+
+  /// Adds a partition window.
+  void addDisruption(LinkDisruption d);
+
+  /// Runs until maxTime / maxEvents.
+  void run();
+
+  /// Runs until the predicate holds (checked every `checkEvery` processed
+  /// events) or the limits hit. Returns true iff the predicate held.
+  bool runUntil(const std::function<bool(const Simulator&)>& pred,
+                std::uint64_t checkEvery = 64);
+
+  Time now() const { return now_; }
+  std::uint64_t eventsProcessed() const { return eventsProcessed_; }
+  const Trace& trace() const { return trace_; }
+  const FailurePattern& failurePattern() const { return pattern_; }
+  const SimConfig& config() const { return config_; }
+  const FailureDetector& detector() const { return *detector_; }
+
+  /// Live automaton state (tests peek at protocol internals).
+  const Automaton& automaton(ProcessId p) const { return *automata_.at(p); }
+  Automaton& automaton(ProcessId p) { return *automata_.at(p); }
+
+ private:
+  enum class EventKind : std::uint8_t { kMessage, kTimeout, kInput };
+
+  struct Event {
+    Time time = 0;
+    std::uint64_t seq = 0;  // FIFO tie-break
+    EventKind kind = EventKind::kTimeout;
+    ProcessId target = kNoProcess;
+    Message msg;    // kMessage
+    Payload input;  // kInput
+  };
+
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void push(Event e);
+  void applyEffects(ProcessId self, Effects& fx);
+  Time deliveryTime(ProcessId from, ProcessId to, Time sentAt);
+  bool processOne();  // false when out of events/limits
+  void ensureStarted();
+
+  SimConfig config_;
+  FailurePattern pattern_;
+  std::shared_ptr<const FailureDetector> detector_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Automaton>> automata_;
+  std::priority_queue<Event, std::vector<Event>, EventAfter> events_;
+  std::vector<LinkDisruption> disruptions_;
+  Trace trace_;
+  Time now_ = 0;
+  std::uint64_t eventsProcessed_ = 0;
+  std::uint64_t nextSeq_ = 0;
+  std::uint64_t nextMsgUid_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace wfd

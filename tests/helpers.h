@@ -1,0 +1,21 @@
+// Shared test harness utilities.
+#pragma once
+
+#include <memory>
+
+#include "fd/detectors.h"
+#include "sim/failure_pattern.h"
+#include "sim/simulator.h"
+
+namespace wfd::test {
+
+/// Simulator with an Omega detector over the given pattern.
+inline Simulator makeOmegaSim(SimConfig cfg, FailurePattern pattern,
+                              Time stabilizeAt,
+                              OmegaPreStabilization mode =
+                                  OmegaPreStabilization::kSplitBrain) {
+  auto omega = std::make_shared<OmegaFd>(pattern, stabilizeAt, mode);
+  return Simulator(cfg, std::move(pattern), std::move(omega));
+}
+
+}  // namespace wfd::test

@@ -1,0 +1,377 @@
+// Tests: the CHT reduction (Section 4 + Appendix B) made executable —
+// DAG properties (1)–(4), simulated configurations, k-tags/valency,
+// bivalent-vertex location, decision gadgets, and end-to-end emulation
+// of Omega from a detector D solving EC.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "cht/extractor.h"
+#include "cht/fd_dag.h"
+#include "cht/simulation_tree.h"
+#include "fd/detectors.h"
+#include "helpers.h"
+
+namespace wfd {
+namespace {
+
+FdValue leaderValue(ProcessId l) {
+  FdValue v;
+  v.leader = l;
+  return v;
+}
+
+// --- FdDag -------------------------------------------------------------------
+
+TEST(FdDagTest, AddSampleIncrementsQueryIndex) {
+  FdDag dag;
+  dag.addSample(0, leaderValue(0));
+  dag.addSample(0, leaderValue(1));
+  EXPECT_EQ(dag.vertexCount(), 2u);
+  EXPECT_EQ(dag.vertex(0).k, 1u);
+  EXPECT_EQ(dag.vertex(1).k, 2u);
+  EXPECT_EQ(dag.localQueryCount(0), 2u);
+}
+
+TEST(FdDagTest, EdgesFromAllExistingVertices) {
+  FdDag dag;
+  dag.addSample(0, leaderValue(0));
+  dag.addSample(1, leaderValue(0));
+  dag.addSample(0, leaderValue(1));
+  // Vertex 2 has in-edges from 0 and 1 (paper Figure 1).
+  EXPECT_TRUE(dag.hasEdge(0, 2));
+  EXPECT_TRUE(dag.hasEdge(1, 2));
+  EXPECT_TRUE(dag.hasEdge(0, 1));
+  EXPECT_EQ(dag.edgeCount(), 3u);
+}
+
+TEST(FdDagTest, Property2SameProcessOrderedByK) {
+  // Paper property (2): vertices [q,d,k], [q,d',k'] with k < k' are
+  // connected (here: reachable).
+  FdDag dag;
+  for (int i = 0; i < 5; ++i) dag.addSample(0, leaderValue(i % 2));
+  DagReach reach(dag);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = i + 1; j < 5; ++j) {
+      EXPECT_TRUE(reach.reaches(i, j));
+      EXPECT_FALSE(reach.reaches(j, i));
+    }
+  }
+}
+
+TEST(FdDagTest, UnionMergesAndConverges) {
+  FdDag a, b;
+  a.addSample(0, leaderValue(0));
+  b.addSample(1, leaderValue(1));
+  a.unionWith(b);
+  b.unionWith(a);
+  EXPECT_TRUE(a.sameAs(b));
+  EXPECT_EQ(a.vertexCount(), 2u);
+}
+
+TEST(FdDagTest, UnionSkipsForwardOverImportedOwnVertices) {
+  // p0's next local sample must not collide with its own vertex imported
+  // via a peer's DAG.
+  FdDag mine, peers;
+  peers.addSample(0, leaderValue(0));  // simulates an old copy of p0's DAG
+  mine.unionWith(peers);
+  const std::size_t idx = mine.addSample(0, leaderValue(0));
+  EXPECT_EQ(mine.vertex(idx).k, 2u);
+  EXPECT_EQ(mine.vertexCount(), 2u);
+}
+
+TEST(FdDagTest, CanonicalOrderIsProcessIndependent) {
+  FdDag a, b;
+  a.addSample(0, leaderValue(0));
+  a.addSample(1, leaderValue(1));
+  b.addSample(1, leaderValue(1));
+  b.addSample(0, leaderValue(0));
+  a.unionWith(b);
+  b.unionWith(a);
+  const auto oa = a.canonicalOrder();
+  const auto ob = b.canonicalOrder();
+  ASSERT_EQ(oa.size(), ob.size());
+  for (std::size_t i = 0; i < oa.size(); ++i) {
+    EXPECT_EQ(a.vertex(oa[i]), b.vertex(ob[i]));
+  }
+}
+
+TEST(FdDagTest, ReachabilityIsTransitive) {
+  FdDag dag;
+  dag.addSample(0, leaderValue(0));
+  dag.addSample(1, leaderValue(0));
+  dag.addSample(0, leaderValue(1));
+  DagReach reach(dag);
+  EXPECT_TRUE(reach.reaches(0, 2));
+  EXPECT_FALSE(reach.reaches(2, 0));
+}
+
+// --- SimConfigState ----------------------------------------------------------
+
+/// DAG where both processes sample a stable leader p0, `rounds` times each,
+/// interleaved (so the interleaved order gives edges both ways).
+FdDag stableDag(std::size_t n, ProcessId leader, std::size_t rounds) {
+  FdDag dag;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    for (ProcessId p = 0; p < n; ++p) dag.addSample(p, leaderValue(leader));
+  }
+  return dag;
+}
+
+TreeLimits testLimits() {
+  TreeLimits lim;
+  lim.maxInstance = 3;
+  lim.probeSteps = 150;
+  lim.walkSteps = 10;
+  lim.hookSteps = 24;
+  return lim;
+}
+
+TEST(SimConfigTest, ProposeStepRecordsProposalAndBroadcasts) {
+  FdDag dag = stableDag(2, 0, 4);
+  SimConfigState config(omegaEcTarget(), 2);
+  EXPECT_TRUE(config.pendingPropose(0));
+  StepDescriptor step{0, 0, StepAction::kProposeOne, 0};
+  config.apply(dag, step, 3);
+  EXPECT_FALSE(config.pendingPropose(0));
+  EXPECT_EQ(config.proposedUpTo(0), 1u);
+  // Algorithm 4 broadcast promote(v, 1) to both processes.
+  EXPECT_TRUE(config.hasPendingMessage(0));
+  EXPECT_TRUE(config.hasPendingMessage(1));
+}
+
+TEST(SimConfigTest, FullRoundDecidesInstanceOne) {
+  FdDag dag = stableDag(2, 0, 8);
+  SimConfigState config(omegaEcTarget(), 2);
+  // p0 (the leader) proposes 1; deliver its promote to p0; λ to decide.
+  std::size_t v0 = 0;  // p0's first vertex is index 0 (k=1)
+  config.apply(dag, {0, v0, StepAction::kProposeOne, 0}, 3);
+  ASSERT_TRUE(config.hasPendingMessage(0));
+  const std::uint64_t uid = config.oldestMessageUid(0);
+  config.apply(dag, {0, 2, StepAction::kDeliverOldest, uid}, 3);  // k=2 vertex
+  config.apply(dag, {0, 4, StepAction::kLambda, 0}, 3);           // k=3 vertex
+  EXPECT_EQ(config.responses(1), (std::set<std::uint64_t>{1}));
+  EXPECT_FALSE(config.disagreement(1));
+  // Deciding re-arms the proposal ladder.
+  EXPECT_TRUE(config.pendingPropose(0));
+}
+
+TEST(SimConfigTest, CopyIsDeep) {
+  FdDag dag = stableDag(2, 0, 4);
+  SimConfigState a(omegaEcTarget(), 2);
+  a.apply(dag, {0, 0, StepAction::kProposeZero, 0}, 3);
+  SimConfigState b(a);
+  b.apply(dag, {1, 1, StepAction::kProposeOne, 0}, 3);
+  EXPECT_TRUE(a.pendingPropose(1));
+  EXPECT_FALSE(b.pendingPropose(1));
+}
+
+// --- TreeAnalysis: tags, bivalence, gadgets ----------------------------------
+
+TEST(TreeAnalysisTest, RootBivalentUnderStableLeader) {
+  FdDag dag = stableDag(2, 0, 10);
+  TreeAnalysis analysis(dag, omegaEcTarget(), 2, testLimits());
+  SimConfigState root(omegaEcTarget(), 2);
+  const KTag t = analysis.tag(root, 1);
+  EXPECT_TRUE(t.has0);
+  EXPECT_TRUE(t.has1);
+  EXPECT_FALSE(t.hasBot) << "stable leader: instance 1 cannot disagree";
+  EXPECT_TRUE(t.bivalent());
+}
+
+TEST(TreeAnalysisTest, LeaderProposalMakesUnivalent) {
+  FdDag dag = stableDag(2, 0, 10);
+  TreeAnalysis analysis(dag, omegaEcTarget(), 2, testLimits());
+  SimConfigState config(omegaEcTarget(), 2);
+  // The leader p0 proposes 1 — every completion now decides 1.
+  config.apply(dag, {0, 0, StepAction::kProposeOne, 0}, 3);
+  const KTag t = analysis.tag(config, 1);
+  EXPECT_TRUE(t.univalent());
+  EXPECT_EQ(t.value(), 1u);
+}
+
+TEST(TreeAnalysisTest, NonLeaderProposalStaysBivalent) {
+  FdDag dag = stableDag(2, 0, 10);
+  TreeAnalysis analysis(dag, omegaEcTarget(), 2, testLimits());
+  SimConfigState config(omegaEcTarget(), 2);
+  // p1 proposes 1, but the decision tracks the leader p0's proposal.
+  config.apply(dag, {1, 1, StepAction::kProposeOne, 0}, 3);
+  const KTag t = analysis.tag(config, 1);
+  EXPECT_TRUE(t.bivalent());
+}
+
+TEST(TreeAnalysisTest, SplitBrainMakesInstanceInvalid) {
+  // Both processes permanently trust themselves: deciders follow their own
+  // proposals — the mixed probe must witness disagreement (⊥).
+  FdDag dag;
+  for (std::size_t r = 0; r < 10; ++r) {
+    dag.addSample(0, leaderValue(0));
+    dag.addSample(1, leaderValue(1));
+  }
+  TreeAnalysis analysis(dag, omegaEcTarget(), 2, testLimits());
+  SimConfigState root(omegaEcTarget(), 2);
+  const KTag t = analysis.tag(root, 1);
+  EXPECT_TRUE(t.hasBot);
+  EXPECT_TRUE(t.invalid());
+}
+
+TEST(TreeAnalysisTest, FindBivalentAtInstanceOneWhenStable) {
+  FdDag dag = stableDag(2, 0, 10);
+  TreeAnalysis analysis(dag, omegaEcTarget(), 2, testLimits());
+  auto found = analysis.findBivalent();
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->second, 1u);
+}
+
+TEST(TreeAnalysisTest, FindBivalentSkipsPastUnstablePrefix) {
+  // Split-brain for the first 3 samples per process, then stable on p0.
+  FdDag dag;
+  for (std::size_t r = 0; r < 3; ++r) {
+    dag.addSample(0, leaderValue(0));
+    dag.addSample(1, leaderValue(1));
+  }
+  for (std::size_t r = 0; r < 24; ++r) {
+    dag.addSample(0, leaderValue(0));
+    dag.addSample(1, leaderValue(0));
+  }
+  TreeAnalysis analysis(dag, omegaEcTarget(), 2, testLimits());
+  auto found = analysis.findBivalent();
+  ASSERT_TRUE(found.has_value());
+  EXPECT_GE(found->second, 1u);
+  EXPECT_LE(found->second, 3u);
+}
+
+TEST(TreeAnalysisTest, GadgetDecidingProcessIsTheLeader) {
+  FdDag dag = stableDag(2, 0, 12);
+  TreeAnalysis analysis(dag, omegaEcTarget(), 2, testLimits());
+  auto bivalent = analysis.findBivalent();
+  ASSERT_TRUE(bivalent.has_value());
+  auto gadget = analysis.findGadget(bivalent->first, bivalent->second);
+  ASSERT_TRUE(gadget.has_value());
+  EXPECT_EQ(gadget->decidingProcess, 0u)
+      << "the fork sits at the stable leader's proposal step";
+}
+
+TEST(TreeAnalysisTest, ExtractLeaderStableCase) {
+  for (ProcessId leader = 0; leader < 2; ++leader) {
+    FdDag dag = stableDag(2, leader, 12);
+    TreeAnalysis analysis(dag, omegaEcTarget(), 2, testLimits());
+    auto extracted = analysis.extractLeader();
+    ASSERT_TRUE(extracted.has_value());
+    EXPECT_EQ(*extracted, leader);
+  }
+}
+
+TEST(TreeAnalysisTest, ExtractLeaderThreeProcesses) {
+  FdDag dag = stableDag(3, 1, 10);
+  TreeLimits lim = testLimits();
+  auto analysis = TreeAnalysis(dag, omegaEcTarget(), 3, lim);
+  auto extracted = analysis.extractLeader();
+  ASSERT_TRUE(extracted.has_value());
+  EXPECT_EQ(*extracted, 1u);
+}
+
+TEST(TreeAnalysisTest, DeterministicAcrossEqualDags) {
+  // Two processes holding the same DAG must extract the same leader —
+  // the convergence property the reduction relies on.
+  FdDag a = stableDag(2, 0, 12);
+  FdDag b;
+  b.unionWith(a);
+  TreeAnalysis ana(a, omegaEcTarget(), 2, testLimits());
+  TreeAnalysis anb(b, omegaEcTarget(), 2, testLimits());
+  EXPECT_EQ(ana.extractLeader(), anb.extractLeader());
+}
+
+// --- End-to-end: emulating Omega through the extractor automaton -------------
+
+ChtConfig e2eConfig() {
+  ChtConfig cfg;
+  cfg.limits = testLimits();
+  cfg.maxOwnSamples = 16;
+  cfg.extractEvery = 24;
+  return cfg;
+}
+
+/// Last leader estimate output by p (kNoProcess if none).
+ProcessId lastEstimate(const Trace& trace, ProcessId p) {
+  ProcessId out = kNoProcess;
+  for (const auto& ev : trace.outputs(p)) {
+    if (const auto* est = ev.value.as<LeaderEstimate>()) out = est->leader;
+  }
+  return out;
+}
+
+TEST(ChtExtractorTest, EmulatesOmegaFromStableOmegaHistory) {
+  SimConfig cfg;
+  cfg.processCount = 2;
+  cfg.maxTime = 12000;
+  cfg.timeoutPeriod = 10;
+  cfg.minDelay = 5;
+  cfg.maxDelay = 15;
+  auto fp = FailurePattern::noFailures(2);
+  auto omega = std::make_shared<OmegaFd>(fp, 0, OmegaPreStabilization::kStable);
+  Simulator sim(cfg, fp, omega);
+  for (ProcessId p = 0; p < 2; ++p) {
+    sim.addProcess(p, std::make_unique<ChtExtractorAutomaton>(omegaEcTarget(), 2,
+                                                              e2eConfig()));
+  }
+  ASSERT_TRUE(sim.runUntil([](const Simulator& s) {
+    return lastEstimate(s.trace(), 0) == 0 && lastEstimate(s.trace(), 1) == 0;
+  }));
+  // Stabilized on the same correct process — Omega emulated.
+  EXPECT_EQ(lastEstimate(sim.trace(), 0), 0u);
+  EXPECT_EQ(lastEstimate(sim.trace(), 1), 0u);
+}
+
+TEST(ChtExtractorTest, EmulatesOmegaAfterUnstablePrefix) {
+  SimConfig cfg;
+  cfg.processCount = 2;
+  cfg.maxTime = 20000;
+  cfg.timeoutPeriod = 10;
+  cfg.minDelay = 5;
+  cfg.maxDelay = 15;
+  auto fp = FailurePattern::noFailures(2);
+  // Split-brain for the first 60 ticks (~3 samples/process), then stable.
+  auto omega = std::make_shared<OmegaFd>(fp, 60, OmegaPreStabilization::kSplitBrain);
+  Simulator sim(cfg, fp, omega);
+  ChtConfig ccfg = e2eConfig();
+  ccfg.limits.maxInstance = 4;
+  for (ProcessId p = 0; p < 2; ++p) {
+    sim.addProcess(p, std::make_unique<ChtExtractorAutomaton>(omegaEcTarget(), 2,
+                                                              ccfg));
+  }
+  ASSERT_TRUE(sim.runUntil([&](const Simulator& s) {
+    const ProcessId a = lastEstimate(s.trace(), 0);
+    return a != kNoProcess && a == lastEstimate(s.trace(), 1) &&
+           s.failurePattern().correct(a);
+  }));
+  EXPECT_EQ(lastEstimate(sim.trace(), 0), lastEstimate(sim.trace(), 1));
+}
+
+TEST(ChtExtractorTest, EmulatesOmegaFromSuspectListDetector) {
+  // D = ◊P (stabilized immediately for tractability); A = Algorithm 4 over
+  // the suspect->leader reduction. The extractor sees only D's values.
+  SimConfig cfg;
+  cfg.processCount = 2;
+  cfg.maxTime = 12000;
+  cfg.timeoutPeriod = 10;
+  cfg.minDelay = 5;
+  cfg.maxDelay = 15;
+  auto fp = FailurePattern::noFailures(2);
+  auto detector = std::make_shared<EventuallyPerfectFd>(fp, 0);
+  Simulator sim(cfg, fp, detector);
+  for (ProcessId p = 0; p < 2; ++p) {
+    sim.addProcess(p, std::make_unique<ChtExtractorAutomaton>(
+                          suspectBasedEcTarget(), 2, e2eConfig()));
+  }
+  ASSERT_TRUE(sim.runUntil([&](const Simulator& s) {
+    const ProcessId a = lastEstimate(s.trace(), 0);
+    return a != kNoProcess && a == lastEstimate(s.trace(), 1) &&
+           s.failurePattern().correct(a);
+  }));
+  EXPECT_EQ(lastEstimate(sim.trace(), 0), 0u) << "lowest non-suspected";
+}
+
+}  // namespace
+}  // namespace wfd

@@ -1,0 +1,172 @@
+// Integration tests: the §7 extension — committed-prefix indications on
+// top of ET OB. Under the paper's proviso (majority correct, leader
+// eventually stable) indications must be produced and NEVER revoked; when
+// the majority is gone indications must stop advancing (rather than lie).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "checkers/commit_checker.h"
+#include "checkers/tob_checker.h"
+#include "checkers/workload.h"
+#include "etob/commit_etob.h"
+#include "fd/detectors.h"
+#include "helpers.h"
+
+namespace wfd {
+namespace {
+
+SimConfig commitConfig(std::size_t n, std::uint64_t seed = 1) {
+  SimConfig cfg;
+  cfg.processCount = n;
+  cfg.seed = seed;
+  cfg.maxTime = 30000;
+  cfg.timeoutPeriod = 10;
+  cfg.minDelay = 20;
+  cfg.maxDelay = 40;
+  return cfg;
+}
+
+Simulator makeCommitSim(SimConfig cfg, FailurePattern fp, Time tauOmega,
+                        OmegaPreStabilization mode) {
+  auto omega = std::make_shared<OmegaFd>(fp, tauOmega, mode);
+  Simulator sim(cfg, fp, omega);
+  for (ProcessId p = 0; p < cfg.processCount; ++p) {
+    sim.addProcess(p, std::make_unique<CommitEtobAutomaton>());
+  }
+  return sim;
+}
+
+TEST(CommitEtobTest, StableLeaderCommitsEverythingSafely) {
+  auto cfg = commitConfig(3);
+  auto fp = FailurePattern::noFailures(3);
+  auto sim = makeCommitSim(cfg, fp, 0, OmegaPreStabilization::kStable);
+  BroadcastWorkload w;
+  w.perProcess = 5;
+  auto log = scheduleBroadcastWorkload(sim, w);
+  ASSERT_TRUE(sim.runUntil([&](const Simulator& s) {
+    const auto commit = checkCommitSafety(s.trace(), s.failurePattern());
+    return commit.committedLenAllCorrect >= log.size();
+  }));
+  const auto commit = checkCommitSafety(sim.trace(), fp);
+  EXPECT_TRUE(commit.safetyOk())
+      << (commit.errors.empty() ? "" : commit.errors[0]);
+  EXPECT_EQ(commit.committedLenAllCorrect, log.size());
+  // The underlying broadcast still satisfies the full spec.
+  const auto report = checkBroadcastRun(sim.trace(), log, fp);
+  EXPECT_TRUE(report.coreOk()) << (report.errors.empty() ? "" : report.errors[0]);
+  EXPECT_TRUE(report.strongTobOk());
+}
+
+TEST(CommitEtobTest, CommitsSafeAcrossLateStabilization) {
+  auto cfg = commitConfig(3);
+  auto fp = FailurePattern::noFailures(3);
+  const Time tauOmega = 1500;
+  auto sim = makeCommitSim(cfg, fp, tauOmega, OmegaPreStabilization::kRotating);
+  BroadcastWorkload w;
+  w.perProcess = 5;
+  auto log = scheduleBroadcastWorkload(sim, w);
+  ASSERT_TRUE(sim.runUntil([&](const Simulator& s) {
+    const auto commit = checkCommitSafety(s.trace(), s.failurePattern());
+    return s.now() > tauOmega + 1000 &&
+           commit.committedLenAllCorrect >= log.size();
+  }));
+  const auto commit = checkCommitSafety(sim.trace(), fp);
+  EXPECT_TRUE(commit.safetyOk())
+      << (commit.errors.empty() ? "" : commit.errors[0]);
+  for (ProcessId p = 0; p < 3; ++p) {
+    const auto& a = static_cast<const CommitEtobAutomaton&>(sim.automaton(p));
+    EXPECT_EQ(a.commitConflicts(), 0u);
+  }
+}
+
+TEST(CommitEtobTest, CommitsSafeAcrossLeaderCrash) {
+  auto cfg = commitConfig(3);
+  auto fp = FailurePattern::crashesAt(3, {{0, 2500}});
+  auto sim = makeCommitSim(cfg, fp, 3500, OmegaPreStabilization::kRotating);
+  BroadcastWorkload w;
+  w.perProcess = 4;
+  auto log = scheduleBroadcastWorkload(sim, w);
+  ASSERT_TRUE(sim.runUntil([&](const Simulator& s) {
+    const auto commit = checkCommitSafety(s.trace(), s.failurePattern());
+    return s.now() > 5000 && commit.committedLenAllCorrect >= log.size();
+  }));
+  const auto commit = checkCommitSafety(sim.trace(), fp);
+  EXPECT_TRUE(commit.safetyOk())
+      << (commit.errors.empty() ? "" : commit.errors[0]);
+}
+
+TEST(CommitEtobTest, NoMajorityNoNewCommits) {
+  auto cfg = commitConfig(5);
+  cfg.maxTime = 15000;
+  auto fp = Environments::majorityCrash(5, 2000);
+  auto sim = makeCommitSim(cfg, fp, 2500, OmegaPreStabilization::kSplitBrain);
+  BroadcastWorkload w;
+  w.start = 3000;  // all broadcasts after the majority is gone
+  w.perProcess = 4;
+  auto log = scheduleBroadcastWorkload(sim, w);
+  sim.run();
+  const auto commit = checkCommitSafety(sim.trace(), fp);
+  // Deliveries still flow (eventual consistency needs only Omega)...
+  const auto report = checkBroadcastRun(sim.trace(), log, fp);
+  EXPECT_TRUE(report.coreOk()) << (report.errors.empty() ? "" : report.errors[0]);
+  // ...but nothing can be committed: acks can never reach a majority.
+  EXPECT_EQ(commit.committedLenAllCorrect, 0u)
+      << "commit indications require a majority — the Sigma-like price";
+  EXPECT_TRUE(commit.safetyOk());
+}
+
+TEST(CommitEtobTest, IndicationMonotonePerProcess) {
+  auto cfg = commitConfig(3);
+  auto fp = FailurePattern::noFailures(3);
+  auto sim = makeCommitSim(cfg, fp, 0, OmegaPreStabilization::kStable);
+  BroadcastWorkload w;
+  w.perProcess = 6;
+  auto log = scheduleBroadcastWorkload(sim, w);
+  sim.runUntil([&](const Simulator& s) {
+    return checkCommitSafety(s.trace(), s.failurePattern())
+               .committedLenAllCorrect >= log.size();
+  });
+  for (ProcessId p = 0; p < 3; ++p) {
+    std::uint64_t last = 0;
+    for (const auto& ev : sim.trace().outputs(p)) {
+      if (const auto* c = ev.value.as<CommittedPrefix>()) {
+        EXPECT_GE(c->length, last) << "commit watermark must be monotone";
+        last = c->length;
+      }
+    }
+    EXPECT_GT(last, 0u);
+  }
+}
+
+// Sweep: commit safety across seeds and environments with a majority.
+class CommitSweepTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t>> {};
+
+TEST_P(CommitSweepTest, CommitSafetyHolds) {
+  const auto [seed, crashes] = GetParam();
+  auto cfg = commitConfig(5, seed);
+  auto fp = crashes == 0 ? FailurePattern::noFailures(5)
+                         : Environments::staggeredCrashes(5, crashes, 1200, 100);
+  auto sim = makeCommitSim(cfg, fp, 2000, OmegaPreStabilization::kRotating);
+  BroadcastWorkload w;
+  w.perProcess = 4;
+  auto log = scheduleBroadcastWorkload(sim, w);
+  sim.runUntil([&](const Simulator& s) {
+    return s.now() > 4000 &&
+           checkCommitSafety(s.trace(), s.failurePattern())
+                   .committedLenAllCorrect >= log.size();
+  });
+  const auto commit = checkCommitSafety(sim.trace(), fp);
+  EXPECT_TRUE(commit.safetyOk())
+      << (commit.errors.empty() ? "" : commit.errors[0]);
+  EXPECT_GT(commit.indications, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CommitSweepTest,
+    ::testing::Combine(::testing::Values<std::uint64_t>(1, 7, 19, 43),
+                       ::testing::Values<std::size_t>(0, 2)));
+
+}  // namespace
+}  // namespace wfd

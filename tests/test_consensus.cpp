@@ -1,0 +1,219 @@
+// Unit + integration tests: the multi-Paxos engine (the strongly
+// consistent baseline's consensus core) — safety under adversarial
+// message orders, liveness under a stable leader with a majority, and
+// the stall without a majority.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "common/ensure.h"
+#include "consensus/multi_paxos.h"
+#include "sim/message.h"
+
+namespace wfd {
+namespace {
+
+using Outbox = MultiPaxosEngine::Outbox;
+
+/// Delivers every send in `out` from `senderOf(index)` into all engines
+/// (kBroadcast) or the addressed one, collecting produced sends
+/// recursively until quiescence.
+class PaxosHarness {
+ public:
+  explicit PaxosHarness(std::size_t n) {
+    for (ProcessId p = 0; p < n; ++p) engines_.emplace_back(p, n);
+  }
+
+  MultiPaxosEngine& engine(ProcessId p) { return engines_[p]; }
+  std::size_t size() const { return engines_.size(); }
+
+  /// Routes an outbox produced by `from`, optionally dropping messages to
+  /// a set of crashed processes.
+  void route(ProcessId from, Outbox& out, const std::vector<bool>& crashed) {
+    std::vector<std::tuple<ProcessId, ProcessId, Payload>> queue;
+    for (auto& [to, payload] : out.sends) {
+      if (to == kBroadcast) {
+        for (ProcessId dest = 0; dest < engines_.size(); ++dest) {
+          queue.emplace_back(from, dest, payload);
+        }
+      } else {
+        queue.emplace_back(from, to, payload);
+      }
+    }
+    out.sends.clear();
+    while (!queue.empty()) {
+      auto [src, dest, payload] = queue.front();
+      queue.erase(queue.begin());
+      if (crashed[dest]) continue;
+      Outbox reply;
+      engines_[dest].onMessage(src, payload, reply);
+      for (auto& [to2, payload2] : reply.sends) {
+        if (to2 == kBroadcast) {
+          for (ProcessId d2 = 0; d2 < engines_.size(); ++d2) {
+            queue.emplace_back(dest, d2, payload2);
+          }
+        } else {
+          queue.emplace_back(dest, to2, payload2);
+        }
+      }
+    }
+  }
+
+ private:
+  std::vector<MultiPaxosEngine> engines_;
+};
+
+Value val(std::uint64_t x) { return Value{x}; }
+
+TEST(MultiPaxosTest, ProposeRequiresPrepared) {
+  MultiPaxosEngine e(0, 3);
+  Outbox out;
+  EXPECT_THROW(e.propose(1, val(7), out), InvariantError);
+}
+
+TEST(MultiPaxosTest, LeaderPreparesAndDecidesWithAllAlive) {
+  PaxosHarness h(3);
+  std::vector<bool> crashed(3, false);
+  Outbox out;
+  h.engine(0).tick(true, out);
+  h.route(0, out, crashed);
+  ASSERT_TRUE(h.engine(0).canPropose());
+  h.engine(0).propose(1, val(42), out);
+  h.route(0, out, crashed);
+  for (ProcessId p = 0; p < 3; ++p) {
+    ASSERT_TRUE(h.engine(p).decided(1)) << "p" << p;
+    EXPECT_EQ(*h.engine(p).decision(1), val(42));
+  }
+}
+
+TEST(MultiPaxosTest, DecidesWithBareMajority) {
+  PaxosHarness h(5);
+  std::vector<bool> crashed{false, false, false, true, true};
+  Outbox out;
+  h.engine(0).tick(true, out);
+  h.route(0, out, crashed);
+  ASSERT_TRUE(h.engine(0).canPropose());
+  h.engine(0).propose(1, val(9), out);
+  h.route(0, out, crashed);
+  EXPECT_TRUE(h.engine(0).decided(1));
+  EXPECT_TRUE(h.engine(2).decided(1));
+}
+
+TEST(MultiPaxosTest, StallsWithoutMajority) {
+  PaxosHarness h(5);
+  std::vector<bool> crashed{false, false, true, true, true};
+  Outbox out;
+  for (int i = 0; i < 10; ++i) {
+    h.engine(0).tick(true, out);
+    h.route(0, out, crashed);
+  }
+  EXPECT_FALSE(h.engine(0).canPropose())
+      << "2 of 5 promises can never reach a majority";
+}
+
+TEST(MultiPaxosTest, NewLeaderAdoptsConstrainedValue) {
+  // p0 gets a value accepted at a majority, then "crashes"; p1 prepares a
+  // higher ballot and MUST re-propose p0's value for that instance.
+  PaxosHarness h(3);
+  std::vector<bool> allAlive(3, false);
+  Outbox out;
+  h.engine(0).tick(true, out);
+  h.route(0, out, allAlive);
+  h.engine(0).propose(1, val(100), out);
+  h.route(0, out, allAlive);
+  ASSERT_TRUE(h.engine(2).decided(1));
+
+  // p1 now leads; suppose it never learned the decision directly — wipe
+  // nothing, just prepare a new ballot and propose its own value.
+  h.engine(0).tick(false, out);  // p0 abdicates
+  h.engine(1).tick(true, out);
+  h.route(1, out, allAlive);
+  ASSERT_TRUE(h.engine(1).canPropose());
+  h.engine(1).propose(1, val(200), out);
+  h.route(1, out, allAlive);
+  // Safety: instance 1 keeps value 100 everywhere.
+  for (ProcessId p = 0; p < 3; ++p) {
+    EXPECT_EQ(*h.engine(p).decision(1), val(100)) << "p" << p;
+  }
+}
+
+TEST(MultiPaxosTest, CompetingProposersStaySafe) {
+  // Two processes both believe they lead (split brain). Whatever gets
+  // decided must be decided identically everywhere.
+  PaxosHarness h(3);
+  std::vector<bool> allAlive(3, false);
+  Outbox out;
+  h.engine(0).tick(true, out);
+  h.route(0, out, allAlive);
+  h.engine(1).tick(true, out);
+  h.route(1, out, allAlive);
+  if (h.engine(0).canPropose()) {
+    h.engine(0).propose(1, val(1), out);
+    h.route(0, out, allAlive);
+  }
+  if (h.engine(1).canPropose()) {
+    h.engine(1).propose(1, val(2), out);
+    h.route(1, out, allAlive);
+  }
+  std::optional<Value> chosen;
+  for (ProcessId p = 0; p < 3; ++p) {
+    if (h.engine(p).decided(1)) {
+      if (!chosen.has_value()) {
+        chosen = *h.engine(p).decision(1);
+      } else {
+        EXPECT_EQ(*h.engine(p).decision(1), *chosen);
+      }
+    }
+  }
+}
+
+TEST(MultiPaxosTest, LosingLeadershipResetsProposerState) {
+  PaxosHarness h(3);
+  std::vector<bool> allAlive(3, false);
+  Outbox out;
+  h.engine(0).tick(true, out);
+  h.route(0, out, allAlive);
+  ASSERT_TRUE(h.engine(0).canPropose());
+  h.engine(0).tick(false, out);
+  EXPECT_FALSE(h.engine(0).canPropose());
+  // Regaining leadership uses a fresh, higher ballot.
+  h.engine(0).tick(true, out);
+  h.route(0, out, allAlive);
+  EXPECT_TRUE(h.engine(0).canPropose());
+}
+
+TEST(MultiPaxosTest, ContiguousDecidedTracksGaps) {
+  PaxosHarness h(3);
+  std::vector<bool> allAlive(3, false);
+  Outbox out;
+  h.engine(0).tick(true, out);
+  h.route(0, out, allAlive);
+  h.engine(0).propose(2, val(5), out);  // decide instance 2 first
+  h.route(0, out, allAlive);
+  EXPECT_EQ(h.engine(0).contiguousDecided(), 0u);
+  h.engine(0).propose(1, val(4), out);
+  h.route(0, out, allAlive);
+  EXPECT_EQ(h.engine(0).contiguousDecided(), 2u);
+}
+
+TEST(MultiPaxosTest, DuplicateProposalIgnored) {
+  PaxosHarness h(3);
+  std::vector<bool> allAlive(3, false);
+  Outbox out;
+  h.engine(0).tick(true, out);
+  h.route(0, out, allAlive);
+  h.engine(0).propose(1, val(7), out);
+  h.route(0, out, allAlive);
+  Outbox second;
+  h.engine(0).propose(1, val(8), second);
+  EXPECT_TRUE(second.sends.empty()) << "instance already decided/proposed";
+}
+
+TEST(MultiPaxosTest, NonPaxosPayloadRejected) {
+  MultiPaxosEngine e(0, 3);
+  Outbox out;
+  EXPECT_FALSE(e.onMessage(1, Payload::of(42), out));
+}
+
+}  // namespace
+}  // namespace wfd

@@ -1,0 +1,220 @@
+// Integration tests: Algorithm 5 (ET OB) against the full ETOB
+// specification, including the paper's three headline properties:
+//  (P1) is benched in E1; here we verify the protocol machinery;
+//  (P2) stable Omega from time 0 => strong TOB (τ̂ = 0, no revocations);
+//  (P3) causal order always, even under split-brain Omega.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "checkers/tob_checker.h"
+#include "checkers/workload.h"
+#include "etob/etob_automaton.h"
+#include "fd/detectors.h"
+#include "helpers.h"
+
+namespace wfd {
+namespace {
+
+SimConfig etobConfig(std::size_t n, std::uint64_t seed = 1) {
+  SimConfig cfg;
+  cfg.processCount = n;
+  cfg.seed = seed;
+  cfg.maxTime = 30000;
+  cfg.timeoutPeriod = 10;
+  cfg.minDelay = 20;
+  cfg.maxDelay = 40;
+  return cfg;
+}
+
+Simulator makeEtobSim(SimConfig cfg, FailurePattern fp, Time tauOmega,
+                      OmegaPreStabilization mode, EtobConfig protoCfg = {}) {
+  auto omega = std::make_shared<OmegaFd>(fp, tauOmega, mode);
+  Simulator sim(cfg, fp, omega);
+  for (ProcessId p = 0; p < cfg.processCount; ++p) {
+    sim.addProcess(p, std::make_unique<EtobAutomaton>(protoCfg));
+  }
+  return sim;
+}
+
+BroadcastWorkload defaultWorkload() {
+  BroadcastWorkload w;
+  w.start = 100;
+  w.interval = 60;
+  w.perProcess = 5;
+  return w;
+}
+
+TEST(EtobTest, StableLeaderYieldsStrongTob) {
+  auto cfg = etobConfig(3);
+  auto fp = FailurePattern::noFailures(3);
+  auto sim = makeEtobSim(cfg, fp, 0, OmegaPreStabilization::kStable);
+  auto log = scheduleBroadcastWorkload(sim, defaultWorkload());
+  sim.runUntil([&](const Simulator& s) { return broadcastConverged(s, log); });
+  const auto report = checkBroadcastRun(sim.trace(), log, fp);
+  EXPECT_TRUE(report.coreOk()) << (report.errors.empty() ? "" : report.errors[0]);
+  EXPECT_TRUE(report.strongTobOk()) << "tau = " << report.tau;
+  EXPECT_TRUE(report.causalOrderOk);
+  for (ProcessId p = 0; p < 3; ++p) {
+    EXPECT_EQ(sim.trace().prefixViolations(p), 0u);
+  }
+}
+
+TEST(EtobTest, SplitBrainEventuallyConvergesWithFiniteTau) {
+  auto cfg = etobConfig(3);
+  auto fp = FailurePattern::noFailures(3);
+  const Time tauOmega = 3000;
+  auto sim = makeEtobSim(cfg, fp, tauOmega, OmegaPreStabilization::kSplitBrain);
+  auto log = scheduleBroadcastWorkload(sim, defaultWorkload());
+  sim.runUntil([&](const Simulator& s) {
+    return s.now() > tauOmega + 2000 && broadcastConverged(s, log);
+  });
+  const auto report = checkBroadcastRun(sim.trace(), log, fp);
+  EXPECT_TRUE(report.coreOk()) << (report.errors.empty() ? "" : report.errors[0]);
+  EXPECT_TRUE(report.causalOrderOk);
+  // The paper's Lemma 3 bound: τ ≤ τ_Ω + Δ_t + Δ_c.
+  EXPECT_LE(report.tau, tauOmega + cfg.timeoutPeriod + cfg.maxDelay);
+}
+
+TEST(EtobTest, WorksWithMinorityCorrect) {
+  // 3 of 5 crash: no majority — consensus-based TOB would stall, ETOB
+  // must still satisfy the spec (Theorem 2: any environment).
+  auto cfg = etobConfig(5);
+  auto fp = Environments::staggeredCrashes(5, 3, 1500, 100);
+  auto sim = makeEtobSim(cfg, fp, 2500, OmegaPreStabilization::kSplitBrain);
+  auto log = scheduleBroadcastWorkload(sim, defaultWorkload());
+  sim.runUntil([&](const Simulator& s) {
+    return s.now() > 4000 && broadcastConverged(s, log);
+  });
+  const auto report = checkBroadcastRun(sim.trace(), log, fp);
+  EXPECT_TRUE(report.coreOk()) << (report.errors.empty() ? "" : report.errors[0]);
+  EXPECT_TRUE(report.causalOrderOk);
+}
+
+TEST(EtobTest, CausalChainsRespectedUnderSplitBrain) {
+  auto cfg = etobConfig(4);
+  auto fp = FailurePattern::noFailures(4);
+  auto sim = makeEtobSim(cfg, fp, 5000, OmegaPreStabilization::kSplitBrain);
+  auto w = defaultWorkload();
+  w.causalChainPerOrigin = true;
+  w.crossProcessDeps = true;
+  auto log = scheduleBroadcastWorkload(sim, w);
+  sim.runUntil([&](const Simulator& s) {
+    return s.now() > 7000 && broadcastConverged(s, log);
+  });
+  const auto report = checkBroadcastRun(sim.trace(), log, fp);
+  EXPECT_TRUE(report.causalOrderOk)
+      << (report.errors.empty() ? "" : report.errors[0]);
+  EXPECT_TRUE(report.coreOk());
+}
+
+TEST(EtobTest, LeaderCrashRecovers) {
+  // The stable leader crashes mid-run; Omega re-stabilizes on p1.
+  auto cfg = etobConfig(3);
+  auto fp = FailurePattern::crashesAt(3, {{0, 2000}});
+  auto omega = std::make_shared<OmegaFd>(
+      fp, 3000, OmegaPreStabilization::kStable);  // pre-3000: trusts p1? no:
+  // kStable outputs the eventual leader (p1, lowest correct) from time 0;
+  // use rotating pre-phase so p0 actually leads for a while.
+  omega = std::make_shared<OmegaFd>(fp, 3000, OmegaPreStabilization::kRotating, 400);
+  Simulator sim(cfg, fp, omega);
+  for (ProcessId p = 0; p < 3; ++p) {
+    sim.addProcess(p, std::make_unique<EtobAutomaton>());
+  }
+  auto log = scheduleBroadcastWorkload(sim, defaultWorkload());
+  sim.runUntil([&](const Simulator& s) {
+    return s.now() > 5000 && broadcastConverged(s, log);
+  });
+  const auto report = checkBroadcastRun(sim.trace(), log, fp);
+  EXPECT_TRUE(report.coreOk()) << (report.errors.empty() ? "" : report.errors[0]);
+}
+
+TEST(EtobTest, PromoteFromNonLeaderIgnored) {
+  // Direct unit check of the adoption guard.
+  EtobAutomaton a;
+  StepContext ctx;
+  ctx.self = 0;
+  ctx.processCount = 3;
+  ctx.fd.leader = 2;  // trusts p2
+  Effects fx;
+  AppMsg m;
+  m.id = makeMsgId(1, 0);
+  m.origin = 1;
+  a.onMessage(ctx, 1, Payload::of(EtobPromoteMsg{{m}, 1}), fx);
+  EXPECT_TRUE(a.delivered().empty());
+  EXPECT_FALSE(fx.delivered().has_value());
+  // From the trusted leader it is adopted.
+  a.onMessage(ctx, 2, Payload::of(EtobPromoteMsg{{m}, 1}), fx);
+  EXPECT_EQ(a.delivered(), (std::vector<MsgId>{m.id}));
+  ASSERT_NE(a.findMessage(m.id), nullptr);
+  EXPECT_EQ(a.findMessage(m.id)->origin, 1u);
+}
+
+TEST(EtobTest, OnlyLeaderPromotes) {
+  EtobAutomaton a;
+  StepContext ctx;
+  ctx.self = 1;
+  ctx.processCount = 3;
+  ctx.fd.leader = 0;
+  Effects fx;
+  a.onTimeout(ctx, fx);
+  EXPECT_TRUE(fx.sends().empty());
+  ctx.fd.leader = 1;  // now it considers itself leader
+  a.onTimeout(ctx, fx);
+  ASSERT_EQ(fx.sends().size(), 1u);
+  EXPECT_EQ(fx.sends()[0].to, kBroadcast);
+  EXPECT_TRUE(fx.sends()[0].payload.holds<EtobPromoteMsg>());
+}
+
+// Property sweep: the ETOB spec holds across seeds, process counts,
+// pre-stabilization modes and edge modes.
+struct EtobSweepParam {
+  std::uint64_t seed;
+  std::size_t n;
+  int mode;
+  int edgeMode;
+};
+
+class EtobSweepTest : public ::testing::TestWithParam<EtobSweepParam> {};
+
+TEST_P(EtobSweepTest, SpecHolds) {
+  const auto param = GetParam();
+  auto cfg = etobConfig(param.n, param.seed);
+  auto fp = FailurePattern::noFailures(param.n);
+  const Time tauOmega = 2500;
+  EtobConfig protoCfg;
+  protoCfg.edgeMode = static_cast<CgEdgeMode>(param.edgeMode);
+  auto sim = makeEtobSim(cfg, fp, tauOmega,
+                         static_cast<OmegaPreStabilization>(param.mode), protoCfg);
+  auto w = defaultWorkload();
+  w.perProcess = 4;
+  w.causalChainPerOrigin = true;
+  auto log = scheduleBroadcastWorkload(sim, w);
+  const bool converged = sim.runUntil([&](const Simulator& s) {
+    return s.now() > tauOmega + 1500 && broadcastConverged(s, log);
+  });
+  EXPECT_TRUE(converged);
+  const auto report = checkBroadcastRun(sim.trace(), log, fp);
+  EXPECT_TRUE(report.coreOk()) << (report.errors.empty() ? "" : report.errors[0]);
+  EXPECT_TRUE(report.causalOrderOk);
+  EXPECT_LE(report.tau, tauOmega + cfg.timeoutPeriod + cfg.maxDelay);
+}
+
+std::vector<EtobSweepParam> sweepParams() {
+  std::vector<EtobSweepParam> out;
+  for (std::uint64_t seed : {1u, 7u, 23u}) {
+    for (std::size_t n : {3u, 5u}) {
+      for (int mode : {0, 1, 2}) {
+        for (int edge : {0, 1}) {
+          out.push_back({seed, n, mode, edge});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EtobSweepTest, ::testing::ValuesIn(sweepParams()));
+
+}  // namespace
+}  // namespace wfd

@@ -1,0 +1,209 @@
+// Unit tests: failure detector oracles — each oracle's histories must
+// satisfy its abstraction's specification by construction.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "common/ensure.h"
+#include "fd/detectors.h"
+#include "sim/failure_pattern.h"
+
+namespace wfd {
+namespace {
+
+// --- Omega ------------------------------------------------------------------
+
+TEST(OmegaTest, StabilizesOnSameCorrectLeaderEverywhere) {
+  auto fp = FailurePattern::crashesAt(4, {{0, 50}});
+  OmegaFd omega(fp, 300, OmegaPreStabilization::kSplitBrain);
+  // Eventual leader defaults to lowest correct = p1.
+  EXPECT_EQ(omega.eventualLeader(), 1u);
+  for (Time t = 300; t < 600; t += 7) {
+    for (ProcessId p = 0; p < 4; ++p) {
+      EXPECT_EQ(omega.valueAt(p, t).leader, 1u);
+    }
+  }
+}
+
+TEST(OmegaTest, SplitBrainDisagreesBeforeStabilization) {
+  auto fp = FailurePattern::noFailures(4);
+  OmegaFd omega(fp, 10000, OmegaPreStabilization::kSplitBrain, 97);
+  bool disagreed = false;
+  for (Time t = 0; t < 500 && !disagreed; t += 13) {
+    std::set<ProcessId> leaders;
+    for (ProcessId p = 0; p < 4; ++p) leaders.insert(omega.valueAt(p, t).leader);
+    disagreed = leaders.size() > 1;
+  }
+  EXPECT_TRUE(disagreed);
+}
+
+TEST(OmegaTest, RotatingAgreesButChurns) {
+  auto fp = FailurePattern::noFailures(3);
+  OmegaFd omega(fp, 10000, OmegaPreStabilization::kRotating, 50);
+  std::set<ProcessId> leadersOverTime;
+  for (Time t = 0; t < 400; t += 10) {
+    std::set<ProcessId> now;
+    for (ProcessId p = 0; p < 3; ++p) now.insert(omega.valueAt(p, t).leader);
+    EXPECT_EQ(now.size(), 1u) << "rotating mode must agree at each instant";
+    leadersOverTime.insert(*now.begin());
+  }
+  EXPECT_GT(leadersOverTime.size(), 1u);
+}
+
+TEST(OmegaTest, StableModeConstantFromZero) {
+  auto fp = FailurePattern::noFailures(3);
+  OmegaFd omega(fp, 0, OmegaPreStabilization::kStable);
+  for (Time t = 0; t < 100; ++t) {
+    for (ProcessId p = 0; p < 3; ++p) {
+      EXPECT_EQ(omega.valueAt(p, t).leader, 0u);
+    }
+  }
+}
+
+TEST(OmegaTest, ExplicitLeaderRespected) {
+  auto fp = FailurePattern::noFailures(3);
+  OmegaFd omega(fp, 0, OmegaPreStabilization::kStable, 97, 2);
+  EXPECT_EQ(omega.valueAt(1, 5).leader, 2u);
+}
+
+TEST(OmegaTest, FaultyEventualLeaderRejected) {
+  auto fp = FailurePattern::crashesAt(3, {{2, 10}});
+  EXPECT_THROW(OmegaFd(fp, 0, OmegaPreStabilization::kStable, 97, 2),
+               InvariantError);
+}
+
+// --- Sigma ------------------------------------------------------------------
+
+TEST(SigmaTest, QuorumsAlwaysIntersect) {
+  auto fp = FailurePattern::crashesAt(5, {{4, 100}, {3, 200}});
+  SigmaFd sigma(fp, 400);
+  // Any two quorums output at any processes/times intersect.
+  std::vector<std::vector<ProcessId>> quorums;
+  for (Time t : {0u, 50u, 150u, 399u, 400u, 1000u}) {
+    for (ProcessId p = 0; p < 5; ++p) quorums.push_back(sigma.valueAt(p, t).quorum);
+  }
+  for (const auto& a : quorums) {
+    for (const auto& b : quorums) {
+      bool intersect = false;
+      for (ProcessId x : a) {
+        for (ProcessId y : b) intersect |= x == y;
+      }
+      EXPECT_TRUE(intersect);
+    }
+  }
+}
+
+TEST(SigmaTest, EventuallyOnlyCorrect) {
+  auto fp = FailurePattern::crashesAt(5, {{4, 100}});
+  SigmaFd sigma(fp, 400);
+  for (ProcessId p = 0; p < 5; ++p) {
+    const auto q = sigma.valueAt(p, 500).quorum;
+    EXPECT_EQ(q, fp.correctSet());
+  }
+}
+
+// --- Perfect / eventually perfect -------------------------------------------
+
+TEST(PerfectTest, StrongAccuracyAndCompleteness) {
+  auto fp = FailurePattern::crashesAt(3, {{2, 100}});
+  PerfectFd p(fp, 10);
+  EXPECT_TRUE(p.valueAt(0, 50).suspects.empty());      // nobody crashed
+  EXPECT_TRUE(p.valueAt(0, 105).suspects.empty());     // lag not elapsed
+  EXPECT_EQ(p.valueAt(0, 110).suspects, (std::vector<ProcessId>{2}));
+}
+
+TEST(EventuallyPerfectTest, ExactAfterStabilization) {
+  auto fp = FailurePattern::crashesAt(3, {{2, 100}});
+  EventuallyPerfectFd fd(fp, 500);
+  for (Time t = 500; t < 700; t += 11) {
+    for (ProcessId p = 0; p < 3; ++p) {
+      EXPECT_EQ(fd.valueAt(p, t).suspects, (std::vector<ProcessId>{2}));
+    }
+  }
+}
+
+TEST(EventuallyPerfectTest, MakesFalseSuspicionsBefore) {
+  auto fp = FailurePattern::noFailures(4);
+  EventuallyPerfectFd fd(fp, 100000, 7);
+  bool falseSuspicion = false;
+  for (Time t = 0; t < 4000 && !falseSuspicion; t += 17) {
+    for (ProcessId p = 0; p < 4; ++p) {
+      falseSuspicion |= !fd.valueAt(p, t).suspects.empty();
+    }
+  }
+  EXPECT_TRUE(falseSuspicion);
+}
+
+TEST(EventuallyPerfectTest, AlwaysSuspectsActuallyCrashed) {
+  auto fp = FailurePattern::crashesAt(3, {{1, 10}});
+  EventuallyPerfectFd fd(fp, 100000);
+  for (Time t = 10; t < 300; t += 13) {
+    const auto s = fd.valueAt(0, t).suspects;
+    EXPECT_TRUE(std::binary_search(s.begin(), s.end(), ProcessId{1}));
+  }
+}
+
+// --- Composites / derived ----------------------------------------------------
+
+TEST(OmegaSigmaTest, CombinesBothComponents) {
+  auto fp = FailurePattern::noFailures(3);
+  auto omega = std::make_shared<OmegaFd>(fp, 0, OmegaPreStabilization::kStable);
+  auto sigma = std::make_shared<SigmaFd>(fp, 0);
+  OmegaSigmaFd both(omega, sigma);
+  const FdValue v = both.valueAt(1, 10);
+  EXPECT_EQ(v.leader, 0u);
+  EXPECT_EQ(v.quorum, fp.correctSet());
+}
+
+TEST(ScriptedTest, ReturnsScriptedValues) {
+  ScriptedFd fd(
+      [](ProcessId p, Time t) {
+        FdValue v;
+        v.leader = (p + t) % 2;
+        return v;
+      },
+      "test");
+  EXPECT_EQ(fd.valueAt(0, 0).leader, 0u);
+  EXPECT_EQ(fd.valueAt(1, 0).leader, 1u);
+  EXPECT_EQ(fd.name(), "test");
+}
+
+TEST(OmegaFromEventuallyPerfectTest, EventuallyAgreesOnLowestAlive) {
+  auto fp = FailurePattern::crashesAt(3, {{0, 50}});
+  auto inner = std::make_shared<EventuallyPerfectFd>(fp, 200);
+  OmegaFromEventuallyPerfect omega(inner, 3);
+  for (Time t = 200; t < 400; t += 9) {
+    for (ProcessId p = 0; p < 3; ++p) {
+      EXPECT_EQ(omega.valueAt(p, t).leader, 1u);  // lowest non-suspected
+    }
+  }
+}
+
+// Property sweep: every Omega history satisfies the Omega specification
+// (eventually the same correct leader at all correct processes, forever)
+// across modes and stabilization times.
+class OmegaSpecTest
+    : public ::testing::TestWithParam<std::tuple<int, Time>> {};
+
+TEST_P(OmegaSpecTest, HistorySatisfiesOmegaSpec) {
+  const auto [modeInt, tau] = GetParam();
+  const auto mode = static_cast<OmegaPreStabilization>(modeInt);
+  auto fp = FailurePattern::crashesAt(4, {{3, 40}});
+  OmegaFd omega(fp, tau, mode);
+  const ProcessId leader = omega.eventualLeader();
+  EXPECT_TRUE(fp.correct(leader));
+  for (Time t = tau; t < tau + 500; t += 23) {
+    for (ProcessId p : fp.correctSet()) {
+      EXPECT_EQ(omega.valueAt(p, t).leader, leader);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModesAndTaus, OmegaSpecTest,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values<Time>(0, 100, 1000, 50000)));
+
+}  // namespace
+}  // namespace wfd

@@ -1,0 +1,152 @@
+// Integration tests: the strongly consistent baseline (TOB via consensus)
+// — must satisfy ALL six TOB properties from time 0 in majority-correct
+// environments, and must STALL when a majority crashes (the availability
+// price of Sigma that ETOB does not pay — the paper's headline contrast).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "checkers/tob_checker.h"
+#include "checkers/workload.h"
+#include "fd/detectors.h"
+#include "helpers.h"
+#include "tob/tob_via_consensus.h"
+
+namespace wfd {
+namespace {
+
+SimConfig tobConfig(std::size_t n, std::uint64_t seed = 1) {
+  SimConfig cfg;
+  cfg.processCount = n;
+  cfg.seed = seed;
+  cfg.maxTime = 40000;
+  cfg.timeoutPeriod = 10;
+  cfg.minDelay = 20;
+  cfg.maxDelay = 40;
+  return cfg;
+}
+
+Simulator makeTobSim(SimConfig cfg, FailurePattern fp, Time tauOmega,
+                     OmegaPreStabilization mode) {
+  auto omega = std::make_shared<OmegaFd>(fp, tauOmega, mode);
+  Simulator sim(cfg, fp, omega);
+  for (ProcessId p = 0; p < cfg.processCount; ++p) {
+    sim.addProcess(p,
+                   std::make_unique<TobViaConsensusAutomaton>(p, cfg.processCount));
+  }
+  return sim;
+}
+
+TEST(TobTest, StableLeaderSatisfiesStrongTob) {
+  auto cfg = tobConfig(3);
+  auto fp = FailurePattern::noFailures(3);
+  auto sim = makeTobSim(cfg, fp, 0, OmegaPreStabilization::kStable);
+  BroadcastWorkload w;
+  w.perProcess = 5;
+  auto log = scheduleBroadcastWorkload(sim, w);
+  ASSERT_TRUE(sim.runUntil(
+      [&](const Simulator& s) { return broadcastConverged(s, log); }));
+  const auto report = checkBroadcastRun(sim.trace(), log, fp);
+  EXPECT_TRUE(report.coreOk()) << (report.errors.empty() ? "" : report.errors[0]);
+  EXPECT_TRUE(report.strongTobOk()) << "tau = " << report.tau;
+  for (ProcessId p = 0; p < 3; ++p) {
+    EXPECT_EQ(sim.trace().prefixViolations(p), 0u)
+        << "strong TOB never revokes a delivery";
+  }
+}
+
+TEST(TobTest, SafeAcrossLeaderChanges) {
+  // Rotating then stabilizing Omega: deliveries may be delayed but never
+  // inconsistent (Paxos safety) — stability/total order hold throughout.
+  auto cfg = tobConfig(3);
+  auto fp = FailurePattern::noFailures(3);
+  auto sim = makeTobSim(cfg, fp, 2000, OmegaPreStabilization::kRotating);
+  BroadcastWorkload w;
+  w.perProcess = 4;
+  auto log = scheduleBroadcastWorkload(sim, w);
+  ASSERT_TRUE(sim.runUntil([&](const Simulator& s) {
+    return s.now() > 3000 && broadcastConverged(s, log);
+  }));
+  const auto report = checkBroadcastRun(sim.trace(), log, fp);
+  EXPECT_TRUE(report.coreOk()) << (report.errors.empty() ? "" : report.errors[0]);
+  for (ProcessId p = 0; p < 3; ++p) {
+    EXPECT_EQ(sim.trace().prefixViolations(p), 0u);
+  }
+}
+
+TEST(TobTest, SurvivesMinorityCrash) {
+  auto cfg = tobConfig(5);
+  auto fp = Environments::minorityCrash(5, 1200);  // 2 of 5 crash
+  auto sim = makeTobSim(cfg, fp, 2000, OmegaPreStabilization::kRotating);
+  BroadcastWorkload w;
+  w.perProcess = 4;
+  auto log = scheduleBroadcastWorkload(sim, w);
+  ASSERT_TRUE(sim.runUntil([&](const Simulator& s) {
+    return s.now() > 3500 && broadcastConverged(s, log);
+  }));
+  const auto report = checkBroadcastRun(sim.trace(), log, fp);
+  EXPECT_TRUE(report.coreOk()) << (report.errors.empty() ? "" : report.errors[0]);
+}
+
+TEST(TobTest, StallsWithoutCorrectMajority) {
+  // THE contrast with ETOB: when 3 of 5 crash, consensus-based TOB can
+  // make no further progress — messages submitted after the crash are
+  // never delivered.
+  auto cfg = tobConfig(5);
+  cfg.maxTime = 20000;
+  auto fp = Environments::majorityCrash(5, 1500);
+  auto sim = makeTobSim(cfg, fp, 0, OmegaPreStabilization::kStable);
+  BroadcastWorkload w;
+  w.start = 3000;  // all broadcasts happen after the majority is gone
+  w.perProcess = 3;
+  auto log = scheduleBroadcastWorkload(sim, w);
+  sim.run();
+  for (ProcessId p : fp.correctSet()) {
+    EXPECT_TRUE(sim.trace().currentDelivered(p).empty())
+        << "no quorum => no decision => no delivery at p" << p;
+  }
+}
+
+TEST(TobTest, PreCrashDeliveriesSurviveMajorityLoss) {
+  // Deliveries decided before the crash remain stable afterwards.
+  auto cfg = tobConfig(5);
+  cfg.maxTime = 20000;
+  auto fp = Environments::majorityCrash(5, 6000);
+  auto sim = makeTobSim(cfg, fp, 0, OmegaPreStabilization::kStable);
+  BroadcastWorkload w;
+  w.start = 100;
+  w.perProcess = 3;
+  auto log = scheduleBroadcastWorkload(sim, w);
+  sim.run();
+  for (ProcessId p : fp.correctSet()) {
+    EXPECT_FALSE(sim.trace().currentDelivered(p).empty());
+    EXPECT_EQ(sim.trace().prefixViolations(p), 0u);
+  }
+}
+
+// Sweep: strong TOB properties across seeds and process counts.
+class TobSweepTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t>> {};
+
+TEST_P(TobSweepTest, StrongTobHolds) {
+  const auto [seed, n] = GetParam();
+  auto cfg = tobConfig(n, seed);
+  auto fp = FailurePattern::noFailures(n);
+  auto sim = makeTobSim(cfg, fp, 0, OmegaPreStabilization::kStable);
+  BroadcastWorkload w;
+  w.perProcess = 3;
+  auto log = scheduleBroadcastWorkload(sim, w);
+  ASSERT_TRUE(sim.runUntil(
+      [&](const Simulator& s) { return broadcastConverged(s, log); }));
+  const auto report = checkBroadcastRun(sim.trace(), log, fp);
+  EXPECT_TRUE(report.coreOk()) << (report.errors.empty() ? "" : report.errors[0]);
+  EXPECT_TRUE(report.strongTobOk()) << "tau = " << report.tau;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TobSweepTest,
+    ::testing::Combine(::testing::Values<std::uint64_t>(1, 11, 29),
+                       ::testing::Values<std::size_t>(3, 5, 7)));
+
+}  // namespace
+}  // namespace wfd

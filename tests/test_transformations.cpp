@@ -1,0 +1,242 @@
+// Integration tests: the paper's transformations.
+//   Theorem 1:  EC ≡ ETOB   (Algorithms 1 and 2)
+//   Theorem 3:  EC ≡ EIC    (Algorithms 6 and 7)
+// Each transformation is run as a black box over a real inner protocol in
+// a simulated environment, and the resulting stack must satisfy the
+// TARGET abstraction's specification.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "checkers/ec_checker.h"
+#include "checkers/tob_checker.h"
+#include "checkers/workload.h"
+#include "ec/ec_driver.h"
+#include "ec/omega_ec.h"
+#include "ec/transformations.h"
+#include "etob/etob_automaton.h"
+#include "fd/detectors.h"
+#include "helpers.h"
+
+namespace wfd {
+namespace {
+
+SimConfig stackConfig(std::size_t n, std::uint64_t seed = 3) {
+  SimConfig cfg;
+  cfg.processCount = n;
+  cfg.seed = seed;
+  cfg.maxTime = 120000;
+  cfg.timeoutPeriod = 10;
+  cfg.minDelay = 15;
+  cfg.maxDelay = 30;
+  return cfg;
+}
+
+// --- Algorithm 1: ETOB from EC ----------------------------------------------
+
+using EtobFromEc = EcToEtobAutomaton<OmegaEcAutomaton>;
+
+TEST(EcToEtobTest, SatisfiesEtobSpec) {
+  auto cfg = stackConfig(3);
+  auto fp = FailurePattern::noFailures(3);
+  const Time tauOmega = 1000;
+  auto omega = std::make_shared<OmegaFd>(fp, tauOmega,
+                                         OmegaPreStabilization::kSplitBrain);
+  Simulator sim(cfg, fp, omega);
+  for (ProcessId p = 0; p < 3; ++p) {
+    sim.addProcess(p, std::make_unique<EtobFromEc>(OmegaEcAutomaton{}));
+  }
+  BroadcastWorkload w;
+  w.start = 100;
+  w.interval = 80;
+  w.perProcess = 4;
+  auto log = scheduleBroadcastWorkload(sim, w);
+  ASSERT_TRUE(sim.runUntil([&](const Simulator& s) {
+    return s.now() > tauOmega + 2000 && broadcastConverged(s, log);
+  }));
+  const auto report = checkBroadcastRun(sim.trace(), log, fp);
+  EXPECT_TRUE(report.coreOk()) << (report.errors.empty() ? "" : report.errors[0]);
+  // Eventual stability/total order: τ̂ must be finite and post-run
+  // convergence reached (checked by broadcastConverged above).
+}
+
+TEST(EcToEtobTest, StableOmegaStillConverges) {
+  auto cfg = stackConfig(4);
+  auto fp = FailurePattern::noFailures(4);
+  auto omega = std::make_shared<OmegaFd>(fp, 0, OmegaPreStabilization::kStable);
+  Simulator sim(cfg, fp, omega);
+  for (ProcessId p = 0; p < 4; ++p) {
+    sim.addProcess(p, std::make_unique<EtobFromEc>(OmegaEcAutomaton{}));
+  }
+  BroadcastWorkload w;
+  w.perProcess = 5;
+  auto log = scheduleBroadcastWorkload(sim, w);
+  ASSERT_TRUE(sim.runUntil(
+      [&](const Simulator& s) { return broadcastConverged(s, log); }));
+  const auto report = checkBroadcastRun(sim.trace(), log, fp);
+  EXPECT_TRUE(report.coreOk()) << (report.errors.empty() ? "" : report.errors[0]);
+}
+
+TEST(EcToEtobTest, MinorityCorrectEnvironment) {
+  auto cfg = stackConfig(5);
+  auto fp = Environments::staggeredCrashes(5, 3, 600, 50);
+  auto omega = std::make_shared<OmegaFd>(fp, 900,
+                                         OmegaPreStabilization::kSplitBrain);
+  Simulator sim(cfg, fp, omega);
+  for (ProcessId p = 0; p < 5; ++p) {
+    sim.addProcess(p, std::make_unique<EtobFromEc>(OmegaEcAutomaton{}));
+  }
+  BroadcastWorkload w;
+  w.perProcess = 3;
+  auto log = scheduleBroadcastWorkload(sim, w);
+  ASSERT_TRUE(sim.runUntil([&](const Simulator& s) {
+    return s.now() > 3000 && broadcastConverged(s, log);
+  }));
+  const auto report = checkBroadcastRun(sim.trace(), log, fp);
+  EXPECT_TRUE(report.coreOk()) << (report.errors.empty() ? "" : report.errors[0]);
+}
+
+// --- Algorithm 2: EC from ETOB ----------------------------------------------
+
+using EcFromEtob = EtobToEcAutomaton<EtobAutomaton>;
+using EcFromEtobDriver = EcDriverAutomaton<EcFromEtob>;
+
+TEST(EtobToEcTest, SatisfiesEcSpec) {
+  auto cfg = stackConfig(3);
+  auto fp = FailurePattern::noFailures(3);
+  const Time tauOmega = 500;
+  auto omega = std::make_shared<OmegaFd>(fp, tauOmega,
+                                         OmegaPreStabilization::kSplitBrain);
+  Simulator sim(cfg, fp, omega);
+  const Instance maxInstances = 10;
+  for (ProcessId p = 0; p < 3; ++p) {
+    sim.addProcess(p, std::make_unique<EcFromEtobDriver>(
+                          EcFromEtob(EtobAutomaton{}), binaryProposals(17),
+                          maxInstances));
+  }
+  ASSERT_TRUE(sim.runUntil([&](const Simulator& s) {
+    return checkEcRun(s.trace(), s.failurePattern()).decidedByAllCorrect >=
+           maxInstances;
+  }));
+  const auto report = checkEcRun(sim.trace(), fp);
+  EXPECT_TRUE(report.integrityOk);
+  EXPECT_TRUE(report.validityOk);
+  EXPECT_TRUE(report.terminationOk(maxInstances));
+  EXPECT_LE(report.agreementFromK, maxInstances);
+}
+
+// --- Full circle: EC -> ETOB -> EC ------------------------------------------
+
+using RoundTripEc = EtobToEcAutomaton<EcToEtobAutomaton<OmegaEcAutomaton>>;
+using RoundTripDriver = EcDriverAutomaton<RoundTripEc>;
+
+TEST(RoundTripTest, EcThroughEtobBackToEcStillSatisfiesEcSpec) {
+  auto cfg = stackConfig(3);
+  cfg.maxTime = 200000;
+  auto fp = FailurePattern::noFailures(3);
+  auto omega = std::make_shared<OmegaFd>(fp, 400,
+                                         OmegaPreStabilization::kSplitBrain);
+  Simulator sim(cfg, fp, omega);
+  const Instance maxInstances = 6;
+  for (ProcessId p = 0; p < 3; ++p) {
+    sim.addProcess(
+        p, std::make_unique<RoundTripDriver>(
+               RoundTripEc(EcToEtobAutomaton<OmegaEcAutomaton>(OmegaEcAutomaton{})),
+               binaryProposals(29), maxInstances));
+  }
+  ASSERT_TRUE(sim.runUntil([&](const Simulator& s) {
+    return checkEcRun(s.trace(), s.failurePattern()).decidedByAllCorrect >=
+           maxInstances;
+  }));
+  const auto report = checkEcRun(sim.trace(), fp);
+  EXPECT_TRUE(report.integrityOk);
+  EXPECT_TRUE(report.validityOk);
+  EXPECT_TRUE(report.terminationOk(maxInstances));
+  EXPECT_LE(report.agreementFromK, maxInstances);
+}
+
+// --- Algorithms 6 & 7: EIC --------------------------------------------------
+
+using EicFromEc = EcToEicAutomaton<OmegaEcAutomaton>;
+using EicDriver = EicDriverAutomaton<EicFromEc>;
+
+TEST(EcToEicTest, SatisfiesEicSpec) {
+  auto cfg = stackConfig(3);
+  auto fp = FailurePattern::noFailures(3);
+  auto omega = std::make_shared<OmegaFd>(fp, 300,
+                                         OmegaPreStabilization::kSplitBrain);
+  Simulator sim(cfg, fp, omega);
+  const Instance maxInstances = 30;
+  for (ProcessId p = 0; p < 3; ++p) {
+    sim.addProcess(p, std::make_unique<EicDriver>(EicFromEc(OmegaEcAutomaton{}),
+                                                  binaryProposals(41),
+                                                  maxInstances));
+  }
+  ASSERT_TRUE(sim.runUntil([&](const Simulator& s) {
+    return checkEicRun(s.trace(), s.failurePattern()).decidedByAllCorrect >=
+           maxInstances;
+  }));
+  const auto report = checkEicRun(sim.trace(), fp);
+  EXPECT_TRUE(report.validityOk);
+  EXPECT_TRUE(report.terminationOk(maxInstances));
+  EXPECT_TRUE(report.finalAgreementOk)
+      << (report.errors.empty() ? "" : report.errors[0]);
+  EXPECT_LE(report.integrityFromK, maxInstances + 1);
+}
+
+using EcFromEic = EicToEcAutomaton<EcToEicAutomaton<OmegaEcAutomaton>>;
+using EcFromEicDriver = EcDriverAutomaton<EcFromEic>;
+
+TEST(EicToEcTest, RoundTripSatisfiesEcSpec) {
+  auto cfg = stackConfig(3);
+  auto fp = FailurePattern::noFailures(3);
+  auto omega = std::make_shared<OmegaFd>(fp, 300,
+                                         OmegaPreStabilization::kSplitBrain);
+  Simulator sim(cfg, fp, omega);
+  const Instance maxInstances = 20;
+  for (ProcessId p = 0; p < 3; ++p) {
+    sim.addProcess(
+        p, std::make_unique<EcFromEicDriver>(
+               EcFromEic(EcToEicAutomaton<OmegaEcAutomaton>(OmegaEcAutomaton{})),
+               binaryProposals(53), maxInstances));
+  }
+  ASSERT_TRUE(sim.runUntil([&](const Simulator& s) {
+    return checkEcRun(s.trace(), s.failurePattern()).decidedByAllCorrect >=
+           maxInstances;
+  }));
+  const auto report = checkEcRun(sim.trace(), fp);
+  EXPECT_TRUE(report.integrityOk);
+  EXPECT_TRUE(report.validityOk);
+  EXPECT_TRUE(report.terminationOk(maxInstances));
+  EXPECT_LE(report.agreementFromK, maxInstances);
+}
+
+// --- Parameterized sweep over seeds for the two main stacks ------------------
+
+class StackSweepTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StackSweepTest, EcToEtobStackConverges) {
+  const std::uint64_t seed = GetParam();
+  auto cfg = stackConfig(3, seed);
+  auto fp = FailurePattern::noFailures(3);
+  auto omega = std::make_shared<OmegaFd>(fp, 700,
+                                         OmegaPreStabilization::kRotating);
+  Simulator sim(cfg, fp, omega);
+  for (ProcessId p = 0; p < 3; ++p) {
+    sim.addProcess(p, std::make_unique<EtobFromEc>(OmegaEcAutomaton{}));
+  }
+  BroadcastWorkload w;
+  w.perProcess = 3;
+  auto log = scheduleBroadcastWorkload(sim, w);
+  ASSERT_TRUE(sim.runUntil([&](const Simulator& s) {
+    return s.now() > 2500 && broadcastConverged(s, log);
+  }));
+  const auto report = checkBroadcastRun(sim.trace(), log, fp);
+  EXPECT_TRUE(report.coreOk()) << (report.errors.empty() ? "" : report.errors[0]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StackSweepTest,
+                         ::testing::Values(1, 5, 9, 13, 21, 34));
+
+}  // namespace
+}  // namespace wfd
