@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Runs every bench_e* executable and records one merged JSON trajectory file.
+#
+# Usage:
+#   bench/run_all.sh [BUILD_DIR] [LABEL]
+#
+#   BUILD_DIR  directory containing bench/bench_e* binaries (default: build)
+#   LABEL      tag embedded in the output filename               (default: git short SHA)
+#
+# Output:
+#   BENCH_<LABEL>.json in the repo root — schema documented in
+#   docs/BENCHMARKS.md. Each bench also writes its raw Google Benchmark
+#   JSON to <BUILD_DIR>/bench/json/<bench>.json.
+#
+# Knobs:
+#   WFD_BENCH_MIN_TIME   per-benchmark min time in seconds, as a plain
+#                        number (default 0.05; raise for stable numbers,
+#                        lower for a smoke run). Keep it suffix-free:
+#                        benchmark <= 1.7 silently ignores "0.05s"-style
+#                        values and falls back to its 0.5s default.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+label="${2:-$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo local)}"
+min_time="${WFD_BENCH_MIN_TIME:-0.05}"
+
+bench_dir="$build_dir/bench"
+json_dir="$bench_dir/json"
+out_file="$repo_root/BENCH_${label}.json"
+
+if ! ls "$bench_dir"/bench_e* >/dev/null 2>&1; then
+  echo "error: no bench binaries under $bench_dir — build first:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+mkdir -p "$json_dir"
+
+benches=()
+for exe in "$bench_dir"/bench_e*; do
+  [ -x "$exe" ] || continue
+  name="$(basename "$exe")"
+  echo "==> $name"
+  "$exe" \
+    --benchmark_min_time="$min_time" \
+    --benchmark_out="$json_dir/$name.json" \
+    --benchmark_out_format=json
+  benches+=("$json_dir/$name.json")
+  echo
+done
+
+# Merge the per-bench Google Benchmark JSON files into one trajectory file:
+# {label, timestamp, context, benches: {<bench_name>: [benchmark entries]}}.
+jq -s \
+  --arg lbl "$label" \
+  '{
+     "label": $lbl,
+     "timestamp": .[0].context.date,
+     context: (.[0].context | {host_name, num_cpus, mhz_per_cpu, library_build_type}),
+     benches: (map({key: (.context.executable | split("/") | last),
+                    value: [.benchmarks[] | del(.family_index, .per_family_instance_index)]})
+               | from_entries)
+   }' "${benches[@]}" > "$out_file"
+
+echo "wrote $out_file ($(jq '[.benches[] | length] | add' "$out_file") benchmark entries from ${#benches[@]} benches)"

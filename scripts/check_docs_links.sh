@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Checks that every relative markdown link target in the repo's *.md files
+# exists. External (http/https/mailto) and pure-anchor links are skipped.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo_root"
+
+fail=0
+while IFS= read -r md; do
+  dir="$(dirname "$md")"
+  # Extract inline link targets: [text](target)
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path="${target%%#*}"          # drop in-page anchors
+    [ -n "$path" ] || continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "BROKEN: $md -> $target"
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)[:space:]]+\)' "$md" | sed -E 's/^\]\(//; s/\)$//')
+done < <(git ls-files --cached --others --exclude-standard '*.md')
+
+if [ "$fail" -ne 0 ]; then
+  echo "docs link check FAILED"
+  exit 1
+fi
+echo "docs link check OK"

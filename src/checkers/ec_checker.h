@@ -8,6 +8,20 @@
 //         from some finite instance k̂ (reported).
 //   EIC — Termination, Validity, eventual Integrity (no revisions from
 //         some instance k̂), Agreement on final responses.
+//
+// Properties checked (completeness/accuracy form):
+//  * Completeness (liveness): EC-Termination — every correct process of
+//    the failure pattern eventually responds to every instance it
+//    proposed for (reported as decidedByAllCorrect; a run passes when it
+//    reaches the instance count the driver expected).
+//  * Accuracy (safety): EC-Integrity — at most one response per instance
+//    per process (for EIC: eventually, revisions stop at some finite
+//    integrityFromK); EC-Validity — every response was proposed for that
+//    instance by some process; and eventual EC-Agreement — a finite k̂
+//    (agreementFromK) from which no two responses for the same instance
+//    differ. The *eventual* clauses are exactly what separates EC from
+//    consensus: the checker reports the k̂ witnessed instead of failing
+//    pre-stabilization disagreement.
 #pragma once
 
 #include <string>

@@ -14,6 +14,18 @@
 // Once the correct processes' DAGs converge (sampling is capped, so they
 // do), the analysis is a deterministic function of the common DAG: all
 // correct processes stabilize on the same correct leader — Omega emulated.
+//
+// Property provided (completeness/accuracy form): the stream of
+// LeaderEstimate outputs is a valid Omega history for the run's failure
+// pattern —
+//  * Omega-Completeness: eventually no correct process's estimate is a
+//    crashed process (crashed candidates stop being deciding processes of
+//    any minimal gadget once the DAGs reflect their silence);
+//  * Omega-Accuracy: eventually every correct process outputs the SAME
+//    correct process forever (the estimate is a deterministic function of
+//    the converged common DAG).
+// This holds for ANY input detector D whose histories let the target
+// algorithm A solve EC — that is exactly Theorem 2's necessity direction.
 #pragma once
 
 #include <cstdint>

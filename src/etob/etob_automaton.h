@@ -8,6 +8,18 @@
 //  * on promote(seq) from p_j-> if Omega_i = p_j then d_i := seq
 //  * on local timeout        -> if Omega_i = p_i then send promote(promote_i)
 //
+// Property provided (completeness/accuracy form), for any environment and
+// any valid Omega history:
+//  * Completeness (liveness): every message broadcast by a correct
+//    process eventually appears in the delivery sequence d_i of every
+//    correct process, permanently (ETOB-Validity + ETOB-Agreement).
+//  * Accuracy (safety): d_i never contains a message that was not
+//    broadcast, never contains duplicates, and always respects the causal
+//    order ->_R — even before Omega stabilizes; and eventually (from
+//    tau_Omega + Δ_t + Δ_c, Lemma 3) the d_i are stable, identical
+//    prefixes of one total order (ETOB-Stability + ETOB-Total-order).
+// checkers/tob_checker.h verifies exactly these clauses over a run trace.
+//
 // Headline properties (benched in E1..E5):
 //  (P1) two communication steps per delivery under a stable leader;
 //  (P2) strong TOB if Omega is stable from the very beginning;

@@ -5,6 +5,26 @@
 // (pattern, parameters, seed). Protocols only ever see FdValue samples
 // through StepContext — the oracle itself is allowed to look at F, as in
 // the formal definition.
+//
+// Properties (completeness/accuracy form). A detector class is specified
+// by a pair of clauses over its histories, one bounding what must
+// eventually be reported (completeness) and one bounding what may be
+// reported (accuracy); the FdValue fields carry the three classical
+// shapes used in this repo:
+//  * leader (Omega)  — Completeness: eventually no correct process
+//    trusts a crashed one. Accuracy: eventually all correct processes
+//    trust the SAME correct process, forever. (EPFD ch. 2.6.5 "eventual
+//    leader election" — both clauses folded into one output.)
+//  * suspects (P/◇P) — Strong Completeness: every crashed process is
+//    eventually suspected by every correct process. Strong Accuracy
+//    (EPFD1, P): no process is suspected before it crashes; Eventual
+//    Strong Accuracy (EPFD2, ◇P): eventually no correct process is
+//    suspected.
+//  * quorum (Sigma)  — Completeness: quorums at correct processes
+//    eventually contain only correct processes. Accuracy (intersection):
+//    any two quorums, at any processes and times, intersect.
+// The checkers and the CHT extractor rely only on these clauses, never
+// on how a particular oracle realizes them.
 #pragma once
 
 #include <cstddef>
