@@ -43,12 +43,9 @@ Result run(std::size_t n, Time tauOmega, std::size_t crashes, Time crashAt,
   cfg.maxDelay = 40;
   auto fp = crashes == 0 ? FailurePattern::noFailures(n)
                          : Environments::staggeredCrashes(n, crashes, crashAt, 50);
-  auto omega =
-      std::make_shared<OmegaFd>(fp, tauOmega, OmegaPreStabilization::kRotating);
-  Simulator sim(cfg, fp, omega);
-  for (ProcessId p = 0; p < n; ++p) {
-    sim.addProcess(p, std::make_unique<CommitEtobAutomaton>());
-  }
+  auto cluster = makeScenarioCluster("commit-stable-majority", cfg, fp,
+                                     tauOmega, OmegaPreStabilization::kRotating);
+  Simulator& sim = *cluster.sim;
   BroadcastWorkload w;
   w.start = crashes > 0 && crashAt < 2000 ? crashAt + 800 : 150;
   w.perProcess = 6;

@@ -40,7 +40,8 @@ template <typename MakeCluster>
 double medianHops(std::size_t n, std::uint64_t seed, MakeCluster make) {
   auto cfg = latencyConfig(n, seed);
   auto fp = FailurePattern::noFailures(n);
-  Simulator sim = make(cfg, fp);
+  auto cluster = make(cfg, fp);
+  Simulator& sim = *cluster.sim;
   // Broadcast from the highest-id process (never the leader, p0) after
   // warmup (TOB needs its prepare phase done; ETOB needs nothing).
   const Time at = 3 * kDelta + 7;

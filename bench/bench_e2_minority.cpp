@@ -39,7 +39,8 @@ template <typename MakeCluster>
 Outcome run(std::uint64_t seed, MakeCluster make) {
   auto cfg = e2Config(seed);
   auto fp = Environments::majorityCrash(5, 2000);  // 3 of 5 crash
-  Simulator sim = make(cfg, fp);
+  auto cluster = make(cfg, fp);
+  Simulator& sim = *cluster.sim;
   BroadcastWorkload w;
   w.start = 3000;  // after the majority is gone
   w.interval = 50;

@@ -31,9 +31,11 @@ Result run(Time tauOmega, std::uint64_t seed) {
   cfg.minDelay = 20;
   cfg.maxDelay = 40;
   auto fp = FailurePattern::noFailures(3);
-  auto sim = makeEtobCluster(cfg, fp, tauOmega,
-                             tauOmega == 0 ? OmegaPreStabilization::kStable
-                                           : OmegaPreStabilization::kSplitBrain);
+  auto cluster =
+      makeEtobCluster(cfg, fp, tauOmega,
+                      tauOmega == 0 ? OmegaPreStabilization::kStable
+                                    : OmegaPreStabilization::kSplitBrain);
+  Simulator& sim = *cluster.sim;
   BroadcastWorkload w;
   w.start = 100;
   w.interval = 50;

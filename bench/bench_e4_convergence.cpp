@@ -33,8 +33,9 @@ Result run(Time tauOmega, Time deltaT, std::uint64_t seed) {
   cfg.minDelay = kDeltaC / 2;
   cfg.maxDelay = kDeltaC;
   auto fp = FailurePattern::noFailures(3);
-  auto sim =
+  auto cluster =
       makeEtobCluster(cfg, fp, tauOmega, OmegaPreStabilization::kSplitBrain);
+  Simulator& sim = *cluster.sim;
   BroadcastWorkload w;
   w.start = 100;
   w.interval = 60;

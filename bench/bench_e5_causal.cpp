@@ -71,7 +71,9 @@ BroadcastLog scheduleClientSessionWorkload(Simulator& sim, MakeBody makeBody) {
 Result etobRun(std::uint64_t seed) {
   auto cfg = e5Config(4, seed);
   auto fp = FailurePattern::noFailures(4);
-  auto sim = makeEtobCluster(cfg, fp, 4000, OmegaPreStabilization::kSplitBrain);
+  auto cluster =
+      makeEtobCluster(cfg, fp, 4000, OmegaPreStabilization::kSplitBrain);
+  Simulator& sim = *cluster.sim;
   auto log = scheduleClientSessionWorkload(
       sim, [](MsgId, std::size_t i) { return Command{i}; });
   sim.runUntil([&](const Simulator& s) {
@@ -92,10 +94,10 @@ Result etobRun(std::uint64_t seed) {
 Result gossipRun(std::uint64_t seed) {
   auto cfg = e5Config(4, seed);
   auto fp = FailurePattern::noFailures(4);
-  Simulator sim(cfg, fp, std::make_shared<PerfectFd>(fp));
-  for (ProcessId p = 0; p < 4; ++p) {
-    sim.addProcess(p, std::make_unique<GossipLwwStore>());
-  }
+  auto cluster =
+      makeScenarioCluster("gossip-lww-convergence", cfg, fp, 0,
+                          OmegaPreStabilization::kStable);
+  Simulator& sim = *cluster.sim;
   // Same client-session workload; bodies are LWW puts with per-message
   // keys so nothing is shadowed and every update is applied somewhere.
   auto log = scheduleClientSessionWorkload(

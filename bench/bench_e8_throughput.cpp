@@ -40,7 +40,8 @@ template <typename MakeCluster>
 Result run(std::size_t n, std::uint64_t seed, Time tauOmega, MakeCluster make) {
   auto cfg = e8Config(n, seed);
   auto fp = FailurePattern::noFailures(n);
-  Simulator sim = make(cfg, fp, tauOmega);
+  auto cluster = make(cfg, fp, tauOmega);
+  Simulator& sim = *cluster.sim;
   BroadcastWorkload w;
   w.start = 200;
   w.interval = 30;

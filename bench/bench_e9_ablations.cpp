@@ -16,6 +16,7 @@
 #include "bench_util.h"
 #include "checkers/tob_checker.h"
 #include "checkers/workload.h"
+#include "etob/etob_automaton.h"
 
 namespace wfd::bench {
 namespace {

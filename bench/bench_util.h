@@ -1,16 +1,23 @@
 // Shared helpers for the experiment benches: table printing and the
-// standard simulator setups used across E1..E8.
+// scenario-backed cluster builders used across E1..E10.
+//
+// Benches no longer hand-roll simulator setup: each builder copies a
+// named catalog entry (src/scenario/catalog.cpp) and applies the bench's
+// swept knobs (config, pattern, tau_Omega, pre-stabilization mode) — the
+// "scenario variant" idiom documented in docs/SCENARIOS.md. The bench
+// schedules its own workload, so the variant's catalog workload is
+// cleared.
 #pragma once
 
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
-#include "etob/etob_automaton.h"
-#include "fd/detectors.h"
+#include "common/ensure.h"
+#include "scenario/scenario.h"
 #include "sim/simulator.h"
-#include "tob/tob_via_consensus.h"
 
 namespace wfd::bench {
 
@@ -49,27 +56,45 @@ inline std::string fmt(double v, int precision = 2) {
   return buf;
 }
 
-/// Simulator over Omega with ETOB automata on every process.
-inline Simulator makeEtobCluster(SimConfig cfg, FailurePattern fp, Time tauOmega,
-                                 OmegaPreStabilization mode) {
-  auto omega = std::make_shared<OmegaFd>(fp, tauOmega, mode);
-  Simulator sim(cfg, std::move(fp), std::move(omega));
-  for (ProcessId p = 0; p < cfg.processCount; ++p) {
-    sim.addProcess(p, std::make_unique<EtobAutomaton>());
-  }
-  return sim;
+/// Copy of catalog entry `base` with the bench's knobs applied,
+/// instantiated for cfg.seed. The variant keeps the entry's stack and
+/// detector shape but pins the bench's exact config, pattern and Omega
+/// parameters, uses the uniform network from the config, and schedules
+/// no catalog workload (benches drive their own).
+inline ScenarioInstance makeScenarioCluster(const std::string& base,
+                                            SimConfig cfg, FailurePattern fp,
+                                            Time tauOmega,
+                                            OmegaPreStabilization mode) {
+  const Scenario* found = findScenario(base);
+  WFD_ENSURE_MSG(found != nullptr, "unknown catalog scenario");
+  Scenario s = *found;
+  s.config = cfg;
+  s.pattern = [fp = std::move(fp)](std::size_t) { return fp; };
+  s.tauOmega = tauOmega;
+  s.omegaMode = mode;
+  // A custom detector factory on the base entry would silently win over
+  // the tauOmega/mode arguments (instantiateScenario only consults them
+  // when detector is null) — clear it so the bench's knobs always apply.
+  s.detector = nullptr;
+  s.network = nullptr;        // uniform delay from the bench's config
+  s.workload.perProcess = 0;  // the bench schedules its own workload
+  return instantiateScenario(s, cfg.seed);
 }
 
-/// Simulator over Omega with TOB-via-consensus automata on every process.
-inline Simulator makeTobCluster(SimConfig cfg, FailurePattern fp, Time tauOmega,
-                                OmegaPreStabilization mode) {
-  auto omega = std::make_shared<OmegaFd>(fp, tauOmega, mode);
-  Simulator sim(cfg, std::move(fp), std::move(omega));
-  for (ProcessId p = 0; p < cfg.processCount; ++p) {
-    sim.addProcess(p,
-                   std::make_unique<TobViaConsensusAutomaton>(p, cfg.processCount));
-  }
-  return sim;
+/// ETOB cluster (Algorithm 5): variant of the "split-brain-heal" entry.
+inline ScenarioInstance makeEtobCluster(SimConfig cfg, FailurePattern fp,
+                                        Time tauOmega,
+                                        OmegaPreStabilization mode) {
+  return makeScenarioCluster("split-brain-heal", cfg, std::move(fp), tauOmega,
+                             mode);
+}
+
+/// TOB-via-consensus cluster: variant of the "tob-baseline-stable" entry.
+inline ScenarioInstance makeTobCluster(SimConfig cfg, FailurePattern fp,
+                                       Time tauOmega,
+                                       OmegaPreStabilization mode) {
+  return makeScenarioCluster("tob-baseline-stable", cfg, std::move(fp),
+                             tauOmega, mode);
 }
 
 }  // namespace wfd::bench

@@ -1,6 +1,13 @@
 #!/usr/bin/env bash
 # Checks that every relative markdown link target in the repo's *.md files
 # exists. External (http/https/mailto) and pure-anchor links are skipped.
+#
+# Additionally cross-checks docs/SCENARIOS.md against the scenario
+# registry: every scenario named in the catalog table (rows of the form
+# "| `name` | ...") must appear in `wfd_scenarios --list`. The check runs
+# when the wfd_scenarios binary is found (WFD_SCENARIOS_BIN overrides the
+# search); set WFD_REQUIRE_SCENARIO_CHECK=1 to make a missing binary an
+# error (CI does, after building).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -22,6 +29,57 @@ while IFS= read -r md; do
     fi
   done < <(grep -oE '\]\([^)[:space:]]+\)' "$md" | sed -E 's/^\]\(//; s/\)$//')
 done < <(git ls-files --cached --others --exclude-standard '*.md')
+
+# --- scenario registry cross-check ------------------------------------------
+scenarios_md="docs/SCENARIOS.md"
+scenarios_bin="${WFD_SCENARIOS_BIN:-}"
+if [ -z "$scenarios_bin" ]; then
+  for candidate in build/tools/wfd_scenarios \
+                   build/release/tools/wfd_scenarios \
+                   build/asan/tools/wfd_scenarios \
+                   build/debug/tools/wfd_scenarios; do
+    if [ -x "$candidate" ]; then
+      scenarios_bin="$candidate"
+      break
+    fi
+  done
+fi
+if [ -f "$scenarios_md" ] && [ -n "$scenarios_bin" ] && [ -x "$scenarios_bin" ]; then
+  registry="$("$scenarios_bin" --list)"
+  # `|| true`: zero table rows must reach the documented==0 guard below,
+  # not abort the script via set -e + pipefail on grep's exit 1.
+  documented_names="$(grep -oE '^\| `[a-z0-9-]+` \|' "$scenarios_md" | sed -E 's/^\| `//; s/` \|$//' || true)"
+  documented=0
+  # docs -> registry: every documented name must exist.
+  while IFS= read -r name; do
+    [ -n "$name" ] || continue
+    documented=$((documented + 1))
+    if ! printf '%s\n' "$registry" | grep -qx "$name"; then
+      echo "BROKEN: $scenarios_md documents scenario '$name' missing from the registry"
+      fail=1
+    fi
+  done <<< "$documented_names"
+  # A zero count means the catalog table stopped parsing (reformatted
+  # rows?) — that would turn the whole check into a silent no-op.
+  if [ "$documented" -eq 0 ]; then
+    echo "BROKEN: no scenario names parsed from $scenarios_md's catalog table"
+    fail=1
+  fi
+  # registry -> docs: every catalog entry must be documented.
+  while IFS= read -r name; do
+    [ -n "$name" ] || continue
+    if ! printf '%s\n' "$documented_names" | grep -qx "$name"; then
+      echo "BROKEN: registry scenario '$name' is undocumented in $scenarios_md"
+      fail=1
+    fi
+  done <<< "$registry"
+  echo "scenario registry check: $documented documented names verified against $scenarios_bin"
+elif [ "${WFD_REQUIRE_SCENARIO_CHECK:-0}" = "1" ]; then
+  echo "BROKEN: wfd_scenarios binary not found but WFD_REQUIRE_SCENARIO_CHECK=1"
+  fail=1
+else
+  echo "note: wfd_scenarios binary not found — scenario-name check skipped (build it or set WFD_SCENARIOS_BIN)"
+fi
 
 if [ "$fail" -ne 0 ]; then
   echo "docs link check FAILED"

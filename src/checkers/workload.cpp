@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "rsm/state_machines.h"
 #include "sim/app_msg.h"
 
 namespace wfd {
@@ -25,7 +26,10 @@ BroadcastLog scheduleBroadcastWorkload(Simulator& sim, const BroadcastWorkload& 
       AppMsg m;
       m.id = makeMsgId(p, static_cast<std::uint32_t>(i));
       m.origin = p;
-      m.body = {static_cast<std::uint64_t>(p), static_cast<std::uint64_t>(i)};
+      m.body = w.lwwPutBodies
+                   ? makePut(m.id, static_cast<std::uint64_t>(i))
+                   : Command{static_cast<std::uint64_t>(p),
+                             static_cast<std::uint64_t>(i)};
       if (w.causalChainPerOrigin && i > 0) {
         m.causalDeps.push_back(makeMsgId(p, static_cast<std::uint32_t>(i - 1)));
       }

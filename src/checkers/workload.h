@@ -22,6 +22,11 @@ struct BroadcastWorkload {
   /// (a cross-process causal lattice; needs interval staggering to be
   /// realistic, the generator staggers origins by interval/n).
   bool crossProcessDeps = false;
+  /// If true bodies are LWW put commands {kPut, key=id, value=i} instead
+  /// of the default {origin, i} marker — the shape GossipLwwStore (and
+  /// any state machine replica) consumes. Per-message keys, so nothing
+  /// is shadowed and every update is applied somewhere.
+  bool lwwPutBodies = false;
 };
 
 /// Schedules the workload into `sim` (skipping processes already crashed

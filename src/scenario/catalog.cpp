@@ -1,0 +1,416 @@
+// The named scenario catalog. Every entry is a complete, deterministic
+// run description; tests sweep all of them (tests/test_scenarios.cpp),
+// the wfd_scenarios CLI runs and lists them, and benches reference them
+// as base setups. docs/SCENARIOS.md carries the human-readable table —
+// scripts/check_docs_links.sh cross-checks it against this registry.
+#include "scenario/scenario.h"
+
+#include "common/ensure.h"
+
+namespace wfd {
+
+namespace {
+
+/// Baseline scheduler parameters shared by most entries; individual
+/// scenarios override fields after calling this.
+SimConfig baseConfig(std::size_t n, Time maxTime) {
+  SimConfig cfg;
+  cfg.processCount = n;
+  cfg.maxTime = maxTime;
+  cfg.timeoutPeriod = 10;
+  cfg.minDelay = 20;
+  cfg.maxDelay = 40;
+  return cfg;
+}
+
+BroadcastWorkload standardWorkload(Time start, std::size_t perProcess,
+                                   Time interval = 50) {
+  BroadcastWorkload w;
+  w.start = start;
+  w.interval = interval;
+  w.perProcess = perProcess;
+  return w;
+}
+
+std::shared_ptr<const NetworkModel> uniformOf(const SimConfig& cfg) {
+  return std::make_shared<UniformDelayModel>(cfg.minDelay, cfg.maxDelay,
+                                             cfg.fixedDelay);
+}
+
+CheckerSet etobChecks(bool strong = false) {
+  CheckerSet c;
+  c.broadcast = true;
+  c.convergence = true;
+  c.requireStrongTob = strong;
+  return c;
+}
+
+std::vector<Scenario> buildCatalog() {
+  std::vector<Scenario> catalog;
+
+  // ---- Baseline leaders and stabilization shapes (uniform network) ----
+  {
+    Scenario s;
+    s.name = "stable-leader";
+    s.description =
+        "n=3, no failures, Omega stable from t=0: Algorithm 5 must give "
+        "STRONG total order broadcast (paper property (2)) — zero "
+        "revocations, tau-hat = 0.";
+    s.config = baseConfig(3, 20000);
+    s.tauOmega = 0;
+    s.omegaMode = OmegaPreStabilization::kStable;
+    s.workload = standardWorkload(100, 8);
+    s.checks = etobChecks(/*strong=*/true);
+    catalog.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "split-brain-heal";
+    s.description =
+        "n=3, every process trusts a different leader until tau_Omega=1500, "
+        "then Omega stabilizes: sequences may diverge during the partition "
+        "period but converge by tau_Omega + dt + dc.";
+    s.config = baseConfig(3, 20000);
+    s.tauOmega = 1500;
+    s.workload = standardWorkload(100, 8);
+    s.checks = etobChecks();
+    catalog.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "rotating-omega";
+    s.description =
+        "n=4, all processes agree on a leader that rotates over the whole "
+        "process set until tau_Omega=2000 — models synchronized but wrong "
+        "elections rather than split brain.";
+    s.config = baseConfig(4, 25000);
+    s.tauOmega = 2000;
+    s.omegaMode = OmegaPreStabilization::kRotating;
+    s.workload = standardWorkload(100, 6);
+    s.checks = etobChecks();
+    catalog.push_back(std::move(s));
+  }
+
+  // ---- Crash patterns ----
+  {
+    Scenario s;
+    s.name = "minority-crash";
+    s.description =
+        "n=5, two processes crash at t=1500 while the workload is in "
+        "flight; Omega stabilizes at 2500 on a correct leader.";
+    s.config = baseConfig(5, 30000);
+    s.pattern = [](std::size_t n) { return Environments::minorityCrash(n, 1500); };
+    s.tauOmega = 2500;
+    s.workload = standardWorkload(100, 6);
+    s.checks = etobChecks();
+    catalog.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "majority-crash-etob";
+    s.description =
+        "n=5, THREE processes crash at t=2000 and every broadcast happens "
+        "after the majority is gone: ETOB keeps delivering (eventual "
+        "consistency needs only Omega — the Sigma gap, paper §1/§4).";
+    s.config = baseConfig(5, 30000);
+    s.pattern = [](std::size_t n) { return Environments::majorityCrash(n, 2000); };
+    s.tauOmega = 2500;
+    s.workload = standardWorkload(3000, 8);
+    s.checks = etobChecks();
+    catalog.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "staggered-churn";
+    s.description =
+        "n=6, two highest-id processes crash 400 ticks apart starting at "
+        "t=1000, under a rotating Omega that stabilizes late (t=2500).";
+    s.config = baseConfig(6, 30000);
+    s.pattern = [](std::size_t n) {
+      return Environments::staggeredCrashes(n, 2, 1000, 400);
+    };
+    s.tauOmega = 2500;
+    s.omegaMode = OmegaPreStabilization::kRotating;
+    s.workload = standardWorkload(100, 5);
+    s.checks = etobChecks();
+    catalog.push_back(std::move(s));
+  }
+
+  // ---- Adversarial network models ----
+  {
+    Scenario s;
+    s.name = "flaky-majority-link";
+    s.description =
+        "n=5, every link between the eventual leader (p0) and the rest "
+        "duplicates (p=1/3, up to 2 extra copies) and jitters by up to 50 "
+        "ticks: the automaton boundary must still see exactly-once, "
+        "causally ordered deliveries.";
+    s.config = baseConfig(5, 30000);
+    s.tauOmega = 1000;
+    s.network = [](const SimConfig& cfg) -> std::shared_ptr<const NetworkModel> {
+      ChaosLinkModel::Config chaos;
+      chaos.dupNum = 1;
+      chaos.dupDen = 3;
+      chaos.maxExtraCopies = 2;
+      chaos.reorderJitter = 50;
+      chaos.affects = [](ProcessId from, ProcessId to) {
+        return from == 0 || to == 0;
+      };
+      return std::make_shared<ChaosLinkModel>(uniformOf(cfg), chaos);
+    };
+    s.workload = standardWorkload(100, 6);
+    s.checks = etobChecks();
+    catalog.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "dup-reorder-storm";
+    s.description =
+        "n=4, EVERY link duplicates with p=1/2 (up to 3 extra copies) and "
+        "jitters by up to 80 ticks — a hostile but admissible network; "
+        "no-duplication and causal order must survive unscathed.";
+    s.config = baseConfig(4, 30000);
+    s.tauOmega = 1200;
+    s.network = [](const SimConfig& cfg) -> std::shared_ptr<const NetworkModel> {
+      ChaosLinkModel::Config chaos;
+      chaos.dupNum = 1;
+      chaos.dupDen = 2;
+      chaos.maxExtraCopies = 3;
+      chaos.reorderJitter = 80;
+      return std::make_shared<ChaosLinkModel>(uniformOf(cfg), chaos);
+    };
+    s.workload = standardWorkload(100, 6);
+    s.checks = etobChecks();
+    catalog.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "skewed-clocks";
+    s.description =
+        "n=4, per-process clock skew on the lambda-step period spreading "
+        "from 3x slower (p0) to 2x faster (p3): every Delta_t-based "
+        "convergence argument is stressed, admissibility is kept (every "
+        "process still steps forever).";
+    s.config = baseConfig(4, 30000);
+    s.tauOmega = 1500;
+    s.network = [](const SimConfig& cfg) -> std::shared_ptr<const NetworkModel> {
+      return ClockSkewModel::spread(uniformOf(cfg), cfg.processCount,
+                                    ClockSkewModel::Skew{3, 1},
+                                    ClockSkewModel::Skew{1, 2});
+    };
+    s.workload = standardWorkload(100, 6);
+    s.checks = etobChecks();
+    catalog.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "partition-heal-storm";
+    s.description =
+        "n=4, p3 is periodically isolated (400-tick windows every 1500 "
+        "ticks, forever): deliveries defer past each window and the "
+        "sequences re-converge in every gap.";
+    s.config = baseConfig(4, 30000);
+    s.tauOmega = 1000;
+    s.network = [](const SimConfig& cfg) -> std::shared_ptr<const NetworkModel> {
+      PartitionSpec storm;
+      storm.start = 500;
+      storm.width = 400;
+      storm.period = 1500;
+      storm.affects = [](ProcessId from, ProcessId to) {
+        return from == 3 || to == 3;
+      };
+      return std::make_shared<PartitionModel>(
+          uniformOf(cfg), std::vector<PartitionSpec>{storm});
+    };
+    s.workload = standardWorkload(100, 5);
+    s.checks = etobChecks();
+    catalog.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "adversarial-blackout";
+    s.description =
+        "n=4, a one-shot TOTAL blackout [800, 2300) on every link while "
+        "Omega is still split-brain: all in-flight traffic defers to the "
+        "heal point, then the run must converge normally.";
+    s.config = baseConfig(4, 25000);
+    s.tauOmega = 1000;
+    s.network = [](const SimConfig& cfg) -> std::shared_ptr<const NetworkModel> {
+      PartitionSpec blackout;
+      blackout.start = 800;
+      blackout.width = 1500;
+      blackout.period = 0;  // one-shot
+      return std::make_shared<PartitionModel>(
+          uniformOf(cfg), std::vector<PartitionSpec>{blackout});
+    };
+    s.workload = standardWorkload(100, 6);
+    s.checks = etobChecks();
+    catalog.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "asymmetric-slow-leader";
+    s.description =
+        "n=4, every link touching the eventual leader (p0) is 4x slower "
+        "than the rest: promotes crawl, but the convergence bound only "
+        "stretches — it never breaks.";
+    s.config = baseConfig(4, 30000);
+    s.tauOmega = 1000;
+    s.network = [](const SimConfig& cfg) -> std::shared_ptr<const NetworkModel> {
+      return AsymmetricDelayModel::slowProcess(cfg.minDelay, cfg.maxDelay,
+                                               /*slow=*/0, /*factor=*/4);
+    };
+    s.workload = standardWorkload(100, 6);
+    s.checks = etobChecks();
+    catalog.push_back(std::move(s));
+  }
+
+  // ---- Other algorithm stacks over the same machinery ----
+  {
+    Scenario s;
+    s.name = "tob-baseline-stable";
+    s.description =
+        "n=3, the classical consensus-based TOB baseline with a correct "
+        "majority: all six TOB properties from time 0 (strong TOB), at "
+        "three communication steps per delivery.";
+    s.config = baseConfig(3, 30000);
+    s.tauOmega = 0;
+    s.omegaMode = OmegaPreStabilization::kStable;
+    s.stack = AlgoStack::kTobViaConsensus;
+    s.workload = standardWorkload(100, 6);
+    s.checks = etobChecks(/*strong=*/true);
+    catalog.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "tob-minority-crash";
+    s.description =
+        "n=5, consensus-based TOB with two crashes at t=1500: the majority "
+        "survives, so the baseline still delivers everything in one total "
+        "order.";
+    s.config = baseConfig(5, 40000);
+    s.pattern = [](std::size_t n) { return Environments::minorityCrash(n, 1500); };
+    s.tauOmega = 2000;
+    s.stack = AlgoStack::kTobViaConsensus;
+    s.workload = standardWorkload(100, 5);
+    s.checks = etobChecks();
+    catalog.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "commit-stable-majority";
+    s.description =
+        "n=3, the §7 committed-prefix extension under a stable leader and "
+        "a correct majority: indications must advance and no committed "
+        "prefix may ever be revoked.";
+    s.config = baseConfig(3, 25000);
+    s.tauOmega = 0;
+    s.omegaMode = OmegaPreStabilization::kStable;
+    s.stack = AlgoStack::kCommitEtob;
+    s.workload = standardWorkload(150, 6);
+    s.checks = etobChecks();
+    s.checks.commit = true;
+    s.checks.requireCommitProgress = true;
+    catalog.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "commit-majority-crash";
+    s.description =
+        "n=5, committed prefixes with THREE crashes at t=2000: commits may "
+        "stop advancing (the §7 proviso is gone) but must never be revoked, "
+        "while deliveries continue on Omega alone.";
+    s.config = baseConfig(5, 30000);
+    s.pattern = [](std::size_t n) { return Environments::majorityCrash(n, 2000); };
+    s.tauOmega = 1000;
+    s.omegaMode = OmegaPreStabilization::kRotating;
+    s.stack = AlgoStack::kCommitEtob;
+    s.workload = standardWorkload(150, 5);
+    s.checks = etobChecks();
+    s.checks.commit = true;
+    catalog.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "gossip-lww-convergence";
+    s.description =
+        "n=4, the Dynamo-style gossip/LWW strawman on an LWW-put workload: "
+        "replicas converge to identical tables (eventual consistency as "
+        "deployed — no order guarantees, contrast with ETOB in E5).";
+    s.config = baseConfig(4, 20000);
+    s.detector = [](const FailurePattern& fp) {
+      return std::make_shared<PerfectFd>(fp);
+    };
+    s.stack = AlgoStack::kGossipLww;
+    s.workload = standardWorkload(100, 5);
+    s.workload.lwwPutBodies = true;
+    s.checks.gossipConvergence = true;
+    catalog.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "ec-omega-split-brain";
+    s.description =
+        "n=3, Algorithm 4 (EC from Omega) under the standing proposal "
+        "driver with split-brain Omega until t=1000: integrity and "
+        "validity always, termination for every instance, and an agreed "
+        "suffix — the instance count is sized so the driver is still "
+        "proposing well after Omega stabilizes (early instances may "
+        "disagree; late ones must not).";
+    s.config = baseConfig(3, 25000);
+    s.tauOmega = 1000;
+    s.stack = AlgoStack::kOmegaEc;
+    s.ecInstances = 60;
+    s.checks.ec = true;
+    catalog.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "skewed-chaos-combo";
+    s.description =
+        "n=4, composition stress: clock skew OVER duplication+reordering "
+        "OVER uniform delay — three decorated models in one stack, still "
+        "an admissible run.";
+    s.config = baseConfig(4, 30000);
+    s.tauOmega = 1500;
+    s.network = [](const SimConfig& cfg) -> std::shared_ptr<const NetworkModel> {
+      ChaosLinkModel::Config chaos;
+      chaos.dupNum = 1;
+      chaos.dupDen = 4;
+      chaos.maxExtraCopies = 2;
+      chaos.reorderJitter = 40;
+      auto chaotic = std::make_shared<ChaosLinkModel>(uniformOf(cfg), chaos);
+      return ClockSkewModel::spread(chaotic, cfg.processCount,
+                                    ClockSkewModel::Skew{2, 1},
+                                    ClockSkewModel::Skew{2, 3});
+    };
+    s.workload = standardWorkload(100, 5);
+    s.checks = etobChecks();
+    catalog.push_back(std::move(s));
+  }
+
+  // Catalog invariant: names are unique (the registry is looked up by name).
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    for (std::size_t j = i + 1; j < catalog.size(); ++j) {
+      WFD_ENSURE_MSG(catalog[i].name != catalog[j].name,
+                     "duplicate scenario name in catalog");
+    }
+  }
+  return catalog;
+}
+
+}  // namespace
+
+const std::vector<Scenario>& scenarioCatalog() {
+  static const std::vector<Scenario> catalog = buildCatalog();
+  return catalog;
+}
+
+const Scenario* findScenario(const std::string& name) {
+  for (const Scenario& s : scenarioCatalog()) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace wfd

@@ -1,0 +1,148 @@
+// Declarative scenario subsystem: one Scenario value names everything a
+// run needs — process count, failure pattern, network model, detector,
+// protocol stack, workload and checker set — so that tests, benches and
+// the wfd_scenarios CLI all execute the same catalog instead of
+// hand-rolling simulator setup.
+//
+// A scenario is deterministic modulo its seed: runScenario(s, seed)
+// always produces the same trace digest for the same (scenario, seed)
+// pair, which is what the seed-determinism regression tests pin.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "checkers/broadcast_log.h"
+#include "checkers/workload.h"
+#include "fd/detectors.h"
+#include "sim/failure_pattern.h"
+#include "sim/network_model.h"
+#include "sim/simulator.h"
+
+namespace wfd {
+
+/// Which protocol stack the scenario installs on every process.
+enum class AlgoStack {
+  kEtob,             // Algorithm 5 (eTOB directly from Omega)
+  kCommitEtob,       // the §7 committed-prefix extension of Algorithm 5
+  kTobViaConsensus,  // strong TOB baseline over Multi-Paxos
+  kGossipLww,        // Dynamo-style gossip/LWW strawman
+  kOmegaEc,          // Algorithm 4 (EC from Omega) under the proposal driver
+};
+
+const char* algoStackName(AlgoStack stack);
+
+/// Which trace verifiers run after the simulation, and which extra
+/// outcome clauses the scenario asserts.
+struct CheckerSet {
+  /// checkBroadcastRun core properties (validity, agreement, no-creation,
+  /// no-duplication, causal order).
+  bool broadcast = false;
+  /// Additionally require tau-hat == 0 (strong TOB; paper property (2)).
+  bool requireStrongTob = false;
+  /// broadcastConverged at the end of the run: every correct process's
+  /// d_i holds every correct-origin message and all sequences agree.
+  bool convergence = false;
+  /// checkCommitSafety: no committed prefix is ever revoked.
+  bool commit = false;
+  /// Additionally require at least one commit indication (stable-majority
+  /// scenarios must make progress, not just stay vacuously safe).
+  bool requireCommitProgress = false;
+  /// checkEcRun: EC integrity/validity always, termination up to the
+  /// scenario's ecInstances, eventual agreement witnessed.
+  bool ec = false;
+  /// All correct gossip replicas hold identical LWW tables at the end.
+  bool gossipConvergence = false;
+};
+
+/// A named, declarative run description. Every field is data (or a pure
+/// factory), so a (scenario, seed) pair fully determines the run.
+struct Scenario {
+  std::string name;
+  std::string description;
+
+  /// Base scheduler parameters. The per-run seed overrides config.seed.
+  SimConfig config;
+
+  /// Failure pattern factory (receives config.processCount).
+  std::function<FailurePattern(std::size_t n)> pattern;
+
+  /// Network model factory; nullptr = uniform delay from the config
+  /// (the legacy scheduling, bit-for-bit).
+  std::function<std::shared_ptr<const NetworkModel>(const SimConfig&)> network;
+
+  /// Failure detector factory; nullptr = OmegaFd(pattern, tauOmega,
+  /// omegaMode).
+  std::function<std::shared_ptr<const FailureDetector>(const FailurePattern&)>
+      detector;
+  Time tauOmega = 0;
+  OmegaPreStabilization omegaMode = OmegaPreStabilization::kSplitBrain;
+
+  AlgoStack stack = AlgoStack::kEtob;
+
+  /// Broadcast workload (ignored by kOmegaEc, which drives proposals).
+  BroadcastWorkload workload;
+  /// kOmegaEc: number of EC instances each process proposes.
+  Instance ecInstances = 0;
+
+  CheckerSet checks;
+};
+
+/// A scenario instantiated for one seed, ready to run (or to be driven
+/// further by a bench that sweeps a knob on top of the catalog entry).
+/// The failure pattern is reachable via sim->failurePattern().
+struct ScenarioInstance {
+  std::unique_ptr<Simulator> sim;
+  /// Input history of the scheduled broadcast workload; empty for
+  /// kOmegaEc (the driver records proposals in the trace instead).
+  BroadcastLog log;
+
+  ScenarioInstance(std::unique_ptr<Simulator> s, BroadcastLog l)
+      : sim(std::move(s)), log(std::move(l)) {}
+};
+
+/// Builds the simulator + workload for (scenario, seed). `overrides`
+/// lets benches replace the base SimConfig (keeping pattern/model/stack);
+/// the per-run seed is applied on top in both forms.
+ScenarioInstance instantiateScenario(const Scenario& s, std::uint64_t seed);
+ScenarioInstance instantiateScenario(const Scenario& s, std::uint64_t seed,
+                                     const SimConfig& overrides);
+
+/// Outcome of one (scenario, seed) run: checker verdicts + metrics.
+struct ScenarioRunResult {
+  std::string scenario;
+  std::uint64_t seed = 0;
+  bool pass = false;
+  /// One entry per failed clause, e.g. "broadcast: agreement".
+  std::vector<std::string> failures;
+
+  std::string stack;
+  std::string network;
+  Time endTime = 0;
+  std::uint64_t eventsProcessed = 0;
+  std::uint64_t messagesSent = 0;
+  std::uint64_t messagesDelivered = 0;
+  std::uint64_t duplicatesSuppressed = 0;
+  /// Broadcast checker's observed convergence witness (0 otherwise).
+  Time tauHat = 0;
+  /// Portable digest of the full trace (seed-determinism tests pin it).
+  std::uint64_t digest = 0;
+};
+
+/// Runs the scenario to its horizon and evaluates its checker set.
+ScenarioRunResult runScenario(const Scenario& s, std::uint64_t seed);
+
+/// Serializes a result as one JSON object (single line, stable key order).
+std::string toJsonLine(const ScenarioRunResult& r);
+
+/// The named catalog. Entries are registered in catalog.cpp; names are
+/// unique, listed in registration order.
+const std::vector<Scenario>& scenarioCatalog();
+
+/// Catalog lookup; nullptr when the name is unknown.
+const Scenario* findScenario(const std::string& name);
+
+}  // namespace wfd

@@ -20,6 +20,10 @@ struct Message {
   Time sentAt = 0;
   /// Unique per-run network identifier (assigned by the simulator).
   std::uint64_t uid = 0;
+  /// True iff the network model scheduled more than one copy of this
+  /// send — only those uids need duplicate suppression at the automaton
+  /// boundary, keeping the bookkeeping off single-copy traffic.
+  bool duplicated = false;
 };
 
 }  // namespace wfd

@@ -7,10 +7,12 @@
 namespace wfd {
 
 Simulator::Simulator(SimConfig config, FailurePattern pattern,
-                     std::shared_ptr<const FailureDetector> detector)
+                     std::shared_ptr<const FailureDetector> detector,
+                     std::shared_ptr<const NetworkModel> network)
     : config_(config),
       pattern_(std::move(pattern)),
       detector_(std::move(detector)),
+      network_(std::move(network)),
       rng_(config.seed),
       automata_(config.processCount),
       trace_(config.processCount, config.keepDeliverySnapshots) {
@@ -19,6 +21,13 @@ Simulator::Simulator(SimConfig config, FailurePattern pattern,
   WFD_ENSURE(detector_ != nullptr);
   WFD_ENSURE(config_.minDelay >= 1 && config_.minDelay <= config_.maxDelay);
   WFD_ENSURE(config_.timeoutPeriod >= 1);
+  if (!network_) {
+    network_ = std::make_shared<UniformDelayModel>(
+        config_.minDelay, config_.maxDelay, config_.fixedDelay);
+  }
+  if (network_->mayDuplicate()) {
+    deliveredUids_.resize(config_.processCount);
+  }
 }
 
 void Simulator::addProcess(ProcessId p, std::unique_ptr<Automaton> automaton) {
@@ -41,7 +50,13 @@ void Simulator::scheduleInput(ProcessId p, Time t, Payload input) {
 void Simulator::addDisruption(LinkDisruption d) {
   WFD_ENSURE(d.start <= d.end);
   WFD_ENSURE(static_cast<bool>(d.affects));
-  disruptions_.push_back(std::move(d));
+  if (d.start == d.end) return;  // empty window: no-op
+  PartitionSpec spec;
+  spec.start = d.start;
+  spec.width = d.end - d.start;
+  spec.period = 0;  // LinkDisruption windows are one-shot
+  spec.affects = std::move(d.affects);
+  disruptions_.push_back(std::move(spec));
 }
 
 void Simulator::push(Event e) {
@@ -64,26 +79,6 @@ void Simulator::ensureStarted() {
   }
 }
 
-Time Simulator::deliveryTime(ProcessId from, ProcessId to, Time sentAt) {
-  Time delay = config_.fixedDelay
-                   ? config_.maxDelay
-                   : rng_.between(config_.minDelay, config_.maxDelay);
-  Time at = sentAt + delay;
-  // Partition windows defer delivery to the window end; windows may
-  // chain, so iterate to a fixed point (windows are finitely many).
-  bool moved = true;
-  while (moved) {
-    moved = false;
-    for (const LinkDisruption& d : disruptions_) {
-      if (at >= d.start && at < d.end && d.affects(from, to)) {
-        at = d.end;
-        moved = true;
-      }
-    }
-  }
-  return at;
-}
-
 void Simulator::applyEffects(ProcessId self, Effects& fx) {
   for (const OutboundMsg& out : fx.sends()) {
     const auto sendOne = [&](ProcessId dest) {
@@ -93,12 +88,27 @@ void Simulator::applyEffects(ProcessId self, Effects& fx) {
       m.payload = out.payload;
       m.sentAt = now_;
       m.uid = nextMsgUid_++;
-      Event e;
-      e.time = deliveryTime(self, dest, now_);
-      e.kind = EventKind::kMessage;
-      e.target = dest;
-      e.msg = std::move(m);
-      push(std::move(e));
+      // The model decides when (and how many network-layer copies of)
+      // this send arrives; legacy LinkDisruption windows apply on top.
+      arrivalScratch_.clear();
+      network_->schedule(LinkSend{self, dest, now_, m.uid}, rng_,
+                         arrivalScratch_);
+      WFD_ENSURE_MSG(!arrivalScratch_.empty(),
+                     "network model scheduled no delivery (links are reliable)");
+      if (arrivalScratch_.size() > 1) {
+        WFD_ENSURE_MSG(network_->mayDuplicate(),
+                       "model emitted duplicates but mayDuplicate() is false");
+        m.duplicated = true;
+      }
+      for (Time at : arrivalScratch_) {
+        WFD_ENSURE_MSG(at > now_, "network model scheduled a non-causal arrival");
+        Event e;
+        e.time = deferPastPartitions(disruptions_, self, dest, at);
+        e.kind = EventKind::kMessage;
+        e.target = dest;
+        e.msg = m;
+        push(std::move(e));
+      }
       trace_.countSend(out.weight);
     };
     if (out.to == kBroadcast) {
@@ -132,6 +142,17 @@ bool Simulator::processOne() {
     return true;
   }
 
+  // Exactly-once at the automaton boundary: only the first arrival of a
+  // multi-copy uid reaches the automaton; later copies are consumed
+  // silently. Single-copy messages (the vast majority even under chaos
+  // models) skip the bookkeeping entirely.
+  if (e.kind == EventKind::kMessage && e.msg.duplicated) {
+    if (!deliveredUids_[p].insert(e.msg.uid).second) {
+      ++duplicatesSuppressed_;
+      return true;
+    }
+  }
+
   StepContext ctx;
   ctx.now = now_;
   ctx.self = p;
@@ -147,7 +168,7 @@ bool Simulator::processOne() {
     case EventKind::kTimeout: {
       automata_[p]->onTimeout(ctx, fx);
       Event next;
-      next.time = now_ + config_.timeoutPeriod;
+      next.time = now_ + network_->lambdaPeriod(p, config_.timeoutPeriod);
       next.kind = EventKind::kTimeout;
       next.target = p;
       push(std::move(next));

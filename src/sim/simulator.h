@@ -2,16 +2,19 @@
 //
 // Produces admissible runs: every correct process takes infinitely many
 // steps (periodic λ-steps with period Δ_t, the "local timeout"), and
-// every message sent to a correct process is eventually received (link
-// delay bounded by Δ_c; partition windows only defer delivery, never
-// drop). All nondeterminism is drawn from one seeded Rng, so a
-// (config, pattern, seed) triple fully determines the run.
+// every message sent to a correct process is eventually received exactly
+// once at the automaton boundary (scheduling policy — delays, partitions,
+// duplication, reordering, clock skew — is delegated to a pluggable
+// NetworkModel; partition windows only defer delivery, never drop). All
+// nondeterminism is drawn from one seeded Rng, so a (config, pattern,
+// model, seed) tuple fully determines the run.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "common/rng.h"
@@ -20,6 +23,7 @@
 #include "sim/failure_pattern.h"
 #include "sim/fd_interface.h"
 #include "sim/message.h"
+#include "sim/network_model.h"
 #include "sim/trace.h"
 
 namespace wfd {
@@ -60,8 +64,12 @@ struct LinkDisruption {
 /// in-flight message queue, and the run trace.
 class Simulator {
  public:
+  /// Without an explicit model, a UniformDelayModel is built from the
+  /// config's [minDelay, maxDelay] / fixedDelay fields — bit-for-bit the
+  /// pre-NetworkModel scheduling for any (config, pattern, seed) triple.
   Simulator(SimConfig config, FailurePattern pattern,
-            std::shared_ptr<const FailureDetector> detector);
+            std::shared_ptr<const FailureDetector> detector,
+            std::shared_ptr<const NetworkModel> network = nullptr);
 
   /// Installs the automaton of process p. Must be called for every p
   /// before running.
@@ -70,14 +78,26 @@ class Simulator {
   /// Schedules an application input for p at time t.
   void scheduleInput(ProcessId p, Time t, Payload input);
 
-  /// Adds a partition window.
+  /// Adds a partition window (applied on top of whatever the network
+  /// model scheduled; kept for backwards compatibility — new code should
+  /// prefer a PartitionModel).
   void addDisruption(LinkDisruption d);
 
   /// Runs until maxTime / maxEvents.
   void run();
 
-  /// Runs until the predicate holds (checked every `checkEvery` processed
-  /// events) or the limits hit. Returns true iff the predicate held.
+  /// Runs until the predicate holds or the limits hit. Returns true iff
+  /// the predicate held.
+  ///
+  /// Contract: the predicate is evaluated once before any event, then
+  /// after every `checkEvery`-th processed event, and once more after
+  /// the final event. With checkEvery == 1 the run therefore stops at
+  /// the EARLIEST event boundary at which the predicate holds — now()
+  /// is the timestamp of the first satisfying event. With checkEvery > 1
+  /// up to checkEvery - 1 further events may be processed first, so
+  /// now() can overshoot the first satisfying time by the span of those
+  /// events (the default trades that precision for fewer predicate
+  /// evaluations; pass 1 when the stop time itself is asserted on).
   bool runUntil(const std::function<bool(const Simulator&)>& pred,
                 std::uint64_t checkEvery = 64);
 
@@ -87,6 +107,9 @@ class Simulator {
   const FailurePattern& failurePattern() const { return pattern_; }
   const SimConfig& config() const { return config_; }
   const FailureDetector& detector() const { return *detector_; }
+  const NetworkModel& network() const { return *network_; }
+  /// Network-layer duplicates suppressed at the automaton boundary.
+  std::uint64_t duplicatesSuppressed() const { return duplicatesSuppressed_; }
 
   /// Live automaton state (tests peek at protocol internals).
   const Automaton& automaton(ProcessId p) const { return *automata_.at(p); }
@@ -113,20 +136,29 @@ class Simulator {
 
   void push(Event e);
   void applyEffects(ProcessId self, Effects& fx);
-  Time deliveryTime(ProcessId from, ProcessId to, Time sentAt);
   bool processOne();  // false when out of events/limits
   void ensureStarted();
 
   SimConfig config_;
   FailurePattern pattern_;
   std::shared_ptr<const FailureDetector> detector_;
+  std::shared_ptr<const NetworkModel> network_;
   Rng rng_;
   std::vector<std::unique_ptr<Automaton>> automata_;
   std::priority_queue<Event, std::vector<Event>, EventAfter> events_;
-  std::vector<LinkDisruption> disruptions_;
+  /// Legacy LinkDisruption windows, converted to one-shot PartitionSpecs
+  /// on add and applied through the shared deferral (network_model.h) on
+  /// top of whatever the network model scheduled.
+  std::vector<PartitionSpec> disruptions_;
+  /// Per-process uids already handed to the automaton — maintained only
+  /// when the model may duplicate (exactly-once at the boundary).
+  std::vector<std::unordered_set<std::uint64_t>> deliveredUids_;
+  /// Scratch buffer for NetworkModel::schedule (avoids per-send allocs).
+  std::vector<Time> arrivalScratch_;
   Trace trace_;
   Time now_ = 0;
   std::uint64_t eventsProcessed_ = 0;
+  std::uint64_t duplicatesSuppressed_ = 0;
   std::uint64_t nextSeq_ = 0;
   std::uint64_t nextMsgUid_ = 0;
   bool started_ = false;

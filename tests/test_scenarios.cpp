@@ -1,0 +1,255 @@
+// Scenario subsystem tests: the whole catalog runs green under its own
+// checker sets, every (scenario, seed) pair is reproducible digest-for-
+// digest, and the uniform-delay NetworkModel replays pre-refactor traces
+// bit-for-bit (golden digests recorded against the pre-NetworkModel
+// Simulator at the commit that introduced the refactor).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "checkers/workload.h"
+#include "etob/etob_automaton.h"
+#include "fd/detectors.h"
+#include "scenario/scenario.h"
+#include "scenario/trace_digest.h"
+#include "sim/simulator.h"
+
+namespace wfd {
+namespace {
+
+// --- Catalog hygiene --------------------------------------------------------
+
+TEST(ScenarioCatalogTest, HasAtLeastTwelveEntriesWithUniqueNames) {
+  const auto& catalog = scenarioCatalog();
+  EXPECT_GE(catalog.size(), 12u);
+  std::set<std::string> names;
+  for (const Scenario& s : catalog) {
+    EXPECT_TRUE(names.insert(s.name).second) << "duplicate: " << s.name;
+    EXPECT_FALSE(s.description.empty()) << s.name;
+    EXPECT_GE(s.config.processCount, 2u) << s.name;
+  }
+}
+
+TEST(ScenarioCatalogTest, FindScenarioRoundTrips) {
+  for (const Scenario& s : scenarioCatalog()) {
+    const Scenario* found = findScenario(s.name);
+    ASSERT_NE(found, nullptr) << s.name;
+    EXPECT_EQ(found->name, s.name);
+  }
+  EXPECT_EQ(findScenario("no-such-scenario"), nullptr);
+}
+
+TEST(ScenarioCatalogTest, CatalogSpansMultipleNetworkModelsAndStacks) {
+  std::set<std::string> networks;
+  std::set<std::string> stacks;
+  for (const Scenario& s : scenarioCatalog()) {
+    ScenarioInstance inst = instantiateScenario(s, 1);
+    networks.insert(inst.sim->network().name());
+    stacks.insert(algoStackName(s.stack));
+  }
+  // Uniform + at least asymmetric, partition, chaos and clock-skew shapes.
+  EXPECT_GE(networks.size(), 5u);
+  EXPECT_GE(stacks.size(), 4u);
+}
+
+// --- Full catalog sweep: every entry is a regression test -------------------
+
+class CatalogSweepTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CatalogSweepTest, PassesItsCheckerSet) {
+  const Scenario* s = findScenario(GetParam());
+  ASSERT_NE(s, nullptr);
+  for (std::uint64_t seed : {1ull, 2ull}) {
+    const ScenarioRunResult r = runScenario(*s, seed);
+    EXPECT_TRUE(r.pass) << "seed " << seed << ": "
+                        << (r.failures.empty() ? "?" : r.failures.front());
+  }
+}
+
+std::vector<std::string> allScenarioNames() {
+  std::vector<std::string> names;
+  for (const Scenario& s : scenarioCatalog()) names.push_back(s.name);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(All, CatalogSweepTest,
+                         ::testing::ValuesIn(allScenarioNames()),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+// --- Seed determinism: (scenario, seed) => digest is a function -------------
+
+class SeedDeterminismTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SeedDeterminismTest, SameSeedSameDigestTwice) {
+  const Scenario* s = findScenario(GetParam());
+  ASSERT_NE(s, nullptr);
+  const ScenarioRunResult a = runScenario(*s, 5);
+  const ScenarioRunResult b = runScenario(*s, 5);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.endTime, b.endTime);
+  EXPECT_EQ(a.eventsProcessed, b.eventsProcessed);
+  EXPECT_EQ(a.messagesSent, b.messagesSent);
+  EXPECT_EQ(a.duplicatesSuppressed, b.duplicatesSuppressed);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, SeedDeterminismTest,
+                         ::testing::ValuesIn(allScenarioNames()),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(SeedDeterminismTest, DifferentSeedsPerturbTheRun) {
+  // Spot-check on a randomness-heavy entry: distinct seeds must explore
+  // distinct schedules (deterministically so — this is a fixed property
+  // of the catalog, not a probabilistic assertion).
+  const Scenario* s = findScenario("dup-reorder-storm");
+  ASSERT_NE(s, nullptr);
+  EXPECT_NE(runScenario(*s, 1).digest, runScenario(*s, 2).digest);
+}
+
+// --- Golden equivalence: the uniform model replays legacy traces ------------
+//
+// The three digests below were recorded by running these EXACT setups
+// against the pre-NetworkModel Simulator (whose deliveryTime drew
+// rng.between(minDelay, maxDelay) inline). The refactored simulator must
+// reproduce them bit-for-bit, both through the default-constructed model
+// and through an explicitly supplied UniformDelayModel.
+//
+// The constants are libstdc++ values: run schedules depend on
+// std::uniform_int_distribution, whose algorithm is implementation-
+// defined, so the same setups produce different (equally valid) traces
+// on libc++/MSVC. The suite is guarded accordingly — determinism and
+// default-vs-explicit-model equivalence remain covered everywhere by
+// the SeedDeterminismTest suite above.
+#if defined(__GLIBCXX__)
+
+constexpr std::uint64_t kGoldenA = 0x7cc333cb324a5379ULL;
+constexpr std::uint64_t kGoldenB = 0xb70a212691012f3cULL;
+constexpr std::uint64_t kGoldenC = 0x49f257344e712df3ULL;
+
+std::uint64_t runGoldenA(std::shared_ptr<const NetworkModel> model) {
+  SimConfig cfg;
+  cfg.processCount = 3;
+  cfg.seed = 42;
+  cfg.maxTime = 20000;
+  cfg.timeoutPeriod = 10;
+  cfg.minDelay = 20;
+  cfg.maxDelay = 40;
+  auto fp = FailurePattern::noFailures(3);
+  auto omega =
+      std::make_shared<OmegaFd>(fp, 1500, OmegaPreStabilization::kSplitBrain);
+  Simulator sim(cfg, fp, omega, std::move(model));
+  for (ProcessId p = 0; p < 3; ++p) {
+    sim.addProcess(p, std::make_unique<EtobAutomaton>());
+  }
+  BroadcastWorkload w;
+  w.start = 100;
+  w.interval = 50;
+  w.perProcess = 6;
+  scheduleBroadcastWorkload(sim, w);
+  sim.run();
+  return traceDigest(sim.trace());
+}
+
+TEST(GoldenTraceTest, DefaultModelReproducesPreRefactorRun) {
+  EXPECT_EQ(runGoldenA(nullptr), kGoldenA);
+}
+
+TEST(GoldenTraceTest, ExplicitUniformModelReproducesPreRefactorRun) {
+  EXPECT_EQ(runGoldenA(std::make_shared<UniformDelayModel>(20, 40, false)),
+            kGoldenA);
+}
+
+TEST(GoldenTraceTest, FixedDelayMinorityCrashReproduced) {
+  SimConfig cfg;
+  cfg.processCount = 5;
+  cfg.seed = 7;
+  cfg.maxTime = 15000;
+  cfg.timeoutPeriod = 10;
+  cfg.minDelay = 30;
+  cfg.maxDelay = 50;
+  cfg.fixedDelay = true;
+  auto fp = Environments::minorityCrash(5, 1200);
+  auto omega =
+      std::make_shared<OmegaFd>(fp, 2000, OmegaPreStabilization::kRotating);
+  Simulator sim(cfg, fp, omega);
+  for (ProcessId p = 0; p < 5; ++p) {
+    sim.addProcess(p, std::make_unique<EtobAutomaton>());
+  }
+  BroadcastWorkload w;
+  w.start = 200;
+  w.interval = 60;
+  w.perProcess = 4;
+  scheduleBroadcastWorkload(sim, w);
+  sim.run();
+  EXPECT_EQ(traceDigest(sim.trace()), kGoldenB);
+}
+
+TEST(GoldenTraceTest, LegacyLinkDisruptionReproduced) {
+  SimConfig cfg;
+  cfg.processCount = 3;
+  cfg.seed = 11;
+  cfg.maxTime = 12000;
+  cfg.timeoutPeriod = 10;
+  cfg.minDelay = 20;
+  cfg.maxDelay = 40;
+  auto fp = FailurePattern::noFailures(3);
+  auto omega =
+      std::make_shared<OmegaFd>(fp, 800, OmegaPreStabilization::kSplitBrain);
+  Simulator sim(cfg, fp, omega);
+  for (ProcessId p = 0; p < 3; ++p) {
+    sim.addProcess(p, std::make_unique<EtobAutomaton>());
+  }
+  LinkDisruption d;
+  d.start = 500;
+  d.end = 2500;
+  d.affects = [](ProcessId from, ProcessId to) { return from == 2 || to == 2; };
+  sim.addDisruption(d);
+  BroadcastWorkload w;
+  w.start = 100;
+  w.interval = 50;
+  w.perProcess = 5;
+  scheduleBroadcastWorkload(sim, w);
+  sim.run();
+  EXPECT_EQ(traceDigest(sim.trace()), kGoldenC);
+}
+
+#endif  // defined(__GLIBCXX__)
+
+// --- Exactly-once under duplicating models ----------------------------------
+
+TEST(ScenarioRunTest, DuplicatingModelsSuppressAtTheBoundary) {
+  const Scenario* s = findScenario("dup-reorder-storm");
+  ASSERT_NE(s, nullptr);
+  const ScenarioRunResult r = runScenario(*s, 3);
+  EXPECT_TRUE(r.pass) << (r.failures.empty() ? "?" : r.failures.front());
+  // The network duplicated aggressively; none of it reached an automaton
+  // twice (r.pass already covers no-duplication; this pins the mechanism).
+  EXPECT_GT(r.duplicatesSuppressed, 0u);
+}
+
+TEST(ScenarioRunTest, InstantiateHonoursConfigOverrides) {
+  const Scenario* s = findScenario("stable-leader");
+  ASSERT_NE(s, nullptr);
+  SimConfig cfg = s->config;
+  cfg.maxTime = 500;
+  ScenarioInstance inst = instantiateScenario(*s, 9, cfg);
+  inst.sim->run();
+  EXPECT_LE(inst.sim->now(), 500u);
+  EXPECT_EQ(inst.sim->config().seed, 9u);
+}
+
+}  // namespace
+}  // namespace wfd

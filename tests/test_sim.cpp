@@ -350,6 +350,51 @@ TEST(SimulatorTest, RunUntilStopsEarly) {
   EXPECT_LT(sim.now(), 2000u);
 }
 
+TEST(SimulatorTest, RunUntilCheckEveryOneStopsAtEarliestSatisfyingEvent) {
+  // Contract regression (see runUntil's header comment): with
+  // checkEvery == 1 the predicate is evaluated after EVERY processed
+  // event, so now() is pinned to the first event boundary at which the
+  // predicate holds — it must not overshoot. This run schedules no
+  // inputs and the echo automata send no messages from λ-steps, so the
+  // event sequence is exactly the staggered timeouts at 1+p, 11+p,
+  // 21+p, ...: the first event at time >= 500 is process 0's λ-step at
+  // 501.
+  auto cfg = smallConfig(2);
+  cfg.maxTime = 100000;
+  auto fp = FailurePattern::noFailures(2);
+  Simulator sim(cfg, fp, std::make_shared<PerfectFd>(fp));
+  for (ProcessId p = 0; p < 2; ++p) sim.addProcess(p, std::make_unique<EchoAutomaton>());
+  const bool hit = sim.runUntil(
+      [](const Simulator& s) { return s.now() >= 500; }, 1);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(sim.now(), 501u);
+}
+
+TEST(SimulatorTest, RunUntilCoarseCheckEveryMayOvershoot) {
+  // The flip side of the contract: with a large checkEvery the run may
+  // process up to checkEvery - 1 further events before noticing, so
+  // now() can legitimately overshoot the earliest satisfying time. Both
+  // runs see identical schedules (same seed); the coarse one must never
+  // stop EARLIER than the precise one.
+  auto runWith = [](std::uint64_t checkEvery) {
+    SimConfig cfg;
+    cfg.processCount = 2;
+    cfg.maxTime = 100000;
+    cfg.timeoutPeriod = 10;
+    cfg.minDelay = 5;
+    cfg.maxDelay = 15;
+    auto fp = FailurePattern::noFailures(2);
+    Simulator sim(cfg, fp, std::make_shared<PerfectFd>(fp));
+    for (ProcessId p = 0; p < 2; ++p) {
+      sim.addProcess(p, std::make_unique<EchoAutomaton>());
+    }
+    sim.runUntil([](const Simulator& s) { return s.now() >= 777; }, checkEvery);
+    return sim.now();
+  };
+  EXPECT_EQ(runWith(1), 781u);  // first event at or past 777: λ-step at 781
+  EXPECT_GE(runWith(64), runWith(1));
+}
+
 TEST(SimulatorTest, DuplicateProcessRejected) {
   auto cfg = smallConfig(2);
   auto fp = FailurePattern::noFailures(2);

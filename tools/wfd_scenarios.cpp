@@ -1,0 +1,124 @@
+// wfd_scenarios — run the scenario catalog from the command line.
+//
+//   wfd_scenarios --list                       # one scenario name per line
+//   wfd_scenarios --describe                   # names + descriptions
+//   wfd_scenarios --scenario NAME              # one run, seed 1
+//   wfd_scenarios --scenario all --seed-count 3
+//   wfd_scenarios --scenario NAME --seed 7     # one specific seed
+//
+// Every run prints exactly one JSON line on stdout (schema: the fields of
+// ScenarioRunResult; see docs/SCENARIOS.md). Exit status is 0 iff every
+// executed run passed its scenario's checker set — which is what makes
+// each catalog entry a regression test the CI smoke job can sweep.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.h"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --list | --describe |\n"
+               "       %s --scenario <name|all> [--seed-count N] [--seed S]\n",
+               argv0, argv0);
+}
+
+std::uint64_t parseU64(const char* flag, const char* text) {
+  char* end = nullptr;
+  const std::uint64_t value = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') {
+    std::fprintf(stderr, "%s: not a number: '%s'\n", flag, text);
+    std::exit(2);
+  }
+  return value;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool list = false;
+  bool describe = false;
+  std::string scenarioArg;
+  std::uint64_t seedCount = 1;
+  std::uint64_t firstSeed = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--list") {
+      list = true;
+    } else if (arg == "--describe") {
+      describe = true;
+    } else if (arg == "--scenario") {
+      scenarioArg = next();
+    } else if (arg == "--seed-count") {
+      seedCount = parseU64("--seed-count", next());
+    } else if (arg == "--seed") {
+      firstSeed = parseU64("--seed", next());
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  const auto& catalog = wfd::scenarioCatalog();
+
+  if (list) {
+    for (const wfd::Scenario& s : catalog) std::printf("%s\n", s.name.c_str());
+    return 0;
+  }
+  if (describe) {
+    for (const wfd::Scenario& s : catalog) {
+      std::printf("%-24s [%s, n=%zu] %s\n", s.name.c_str(),
+                  wfd::algoStackName(s.stack), s.config.processCount,
+                  s.description.c_str());
+    }
+    return 0;
+  }
+  if (scenarioArg.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+  if (seedCount == 0) {
+    std::fprintf(stderr, "--seed-count must be >= 1\n");
+    return 2;
+  }
+
+  std::vector<const wfd::Scenario*> selected;
+  if (scenarioArg == "all") {
+    for (const wfd::Scenario& s : catalog) selected.push_back(&s);
+  } else {
+    const wfd::Scenario* s = wfd::findScenario(scenarioArg);
+    if (s == nullptr) {
+      std::fprintf(stderr, "unknown scenario '%s' (try --list)\n",
+                   scenarioArg.c_str());
+      return 2;
+    }
+    selected.push_back(s);
+  }
+
+  bool allPassed = true;
+  for (const wfd::Scenario* s : selected) {
+    for (std::uint64_t k = 0; k < seedCount; ++k) {
+      const wfd::ScenarioRunResult r = wfd::runScenario(*s, firstSeed + k);
+      std::printf("%s\n", wfd::toJsonLine(r).c_str());
+      std::fflush(stdout);
+      allPassed = allPassed && r.pass;
+    }
+  }
+  return allPassed ? 0 : 1;
+}
