@@ -1,0 +1,93 @@
+// E11 — explorer throughput (infrastructure experiment, like E9).
+//
+// The explorer's value scales with how many admissible schedules it can
+// push through the checker oracles per second: plans/sec IS the fuzzing
+// budget. This bench measures, per protocol stack, the full pipeline —
+// seed-derived FuzzPlan sampling, scenario lowering, simulation to the
+// plan's horizon, checker evaluation — exactly the per-run work of
+// `wfd_explore`. The human table also reports the sampled runs' average
+// simulated horizon and event count, so a throughput regression can be
+// attributed (slower machinery vs longer sampled runs).
+//
+// Recorded in BENCH_<label>.json so fuzzing speed joins the perf
+// trajectory alongside the protocol experiments (docs/BENCHMARKS.md).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "explore/explorer.h"
+#include "explore/fuzz_plan.h"
+
+namespace wfd::bench {
+namespace {
+
+constexpr auto& kStacks = kAllAlgoStacks;
+
+struct WindowStats {
+  std::uint64_t runs = 0;
+  std::uint64_t violations = 0;
+  std::uint64_t totalEvents = 0;
+  Time totalHorizon = 0;
+};
+
+/// One explorer run: sample plan `index`, run it, evaluate the oracle.
+ScenarioRunResult oneRun(AlgoStack stack, std::uint64_t index,
+                         WindowStats* stats) {
+  const FuzzPlan plan = sampleFuzzPlan(stack, /*masterSeed=*/1, index);
+  ScenarioRunResult r = runFuzzPlan(plan, FuzzOracle::kSpec);
+  if (stats != nullptr) {
+    ++stats->runs;
+    stats->violations += r.pass ? 0 : 1;
+    stats->totalEvents += r.eventsProcessed;
+    stats->totalHorizon += plan.maxTime;
+  }
+  return r;
+}
+
+void printTable() {
+  std::printf(
+      "E11: explorer throughput — plans/sec per stack over the first 40\n"
+      "sampled plans of seed 1 (the wfd_explore per-run pipeline: sample\n"
+      "-> lower -> simulate -> check; violations must be 0)\n\n");
+  Table t({"stack", "runs", "violations", "avg-horizon", "avg-events"}, 15);
+  for (AlgoStack stack : kStacks) {
+    WindowStats stats;
+    for (std::uint64_t i = 0; i < 40; ++i) oneRun(stack, i, &stats);
+    t.row({algoStackName(stack), std::to_string(stats.runs),
+           std::to_string(stats.violations),
+           std::to_string(stats.totalHorizon / stats.runs),
+           std::to_string(stats.totalEvents / stats.runs)});
+  }
+  std::printf("\n");
+}
+
+void BM_ExplorePlans(benchmark::State& state) {
+  const AlgoStack stack = kStacks[state.range(0)];
+  state.SetLabel(algoStackName(stack));
+  std::uint64_t index = 0;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const ScenarioRunResult r = oneRun(stack, index++, nullptr);
+    benchmark::DoNotOptimize(r);
+    events += r.eventsProcessed;
+  }
+  // plans/sec is the headline number; events/sec attributes changes.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ExplorePlans)
+    ->DenseRange(0, static_cast<std::int64_t>(std::size(kStacks)) - 1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wfd::bench
+
+int main(int argc, char** argv) {
+  wfd::bench::printTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,5 +1,5 @@
 // Shared helpers for the experiment benches: table printing and the
-// scenario-backed cluster builders used across E1..E10.
+// scenario-backed cluster builders used across E1..E11.
 //
 // Benches no longer hand-roll simulator setup: each builder copies a
 // named catalog entry (src/scenario/catalog.cpp) and applies the bench's

@@ -8,6 +8,11 @@
 # when the wfd_scenarios binary is found (WFD_SCENARIOS_BIN overrides the
 # search); set WFD_REQUIRE_SCENARIO_CHECK=1 to make a missing binary an
 # error (CI does, after building).
+#
+# Also cross-checks the fuzz corpus both ways: every `tests/corpus/*.json`
+# path named in any markdown file must exist on disk, and every committed
+# corpus file must be documented in docs/FUZZING.md (an undocumented
+# counterexample is a counterexample nobody will understand next year).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -80,6 +85,35 @@ elif [ "${WFD_REQUIRE_SCENARIO_CHECK:-0}" = "1" ]; then
 else
   echo "note: wfd_scenarios binary not found — scenario-name check skipped (build it or set WFD_SCENARIOS_BIN)"
 fi
+
+# --- fuzz corpus cross-check ------------------------------------------------
+fuzzing_md="docs/FUZZING.md"
+corpus_mentions=0
+# docs -> disk: every corpus path named anywhere in the docs must exist.
+while IFS= read -r corpus_path; do
+  [ -n "$corpus_path" ] || continue
+  corpus_mentions=$((corpus_mentions + 1))
+  if [ ! -f "$corpus_path" ]; then
+    echo "BROKEN: docs name corpus file '$corpus_path' which does not exist"
+    fail=1
+  fi
+done < <(git ls-files --cached --others --exclude-standard '*.md' |
+         xargs grep -ohE 'tests/corpus/[A-Za-z0-9._-]+\.json' 2>/dev/null |
+         sort -u)
+# disk -> docs: every committed corpus file must be documented.
+if [ -d tests/corpus ]; then
+  while IFS= read -r corpus_file; do
+    [ -n "$corpus_file" ] || continue
+    name="$(basename "$corpus_file")"
+    # -F: the filename is a literal, not a regex — '.' must not match
+    # any character, or near-miss typos in the docs would pass.
+    if ! grep -qF -- "$name" "$fuzzing_md" 2>/dev/null; then
+      echo "BROKEN: corpus file '$corpus_file' is undocumented in $fuzzing_md"
+      fail=1
+    fi
+  done < <(git ls-files --cached --others --exclude-standard 'tests/corpus/*.json')
+fi
+echo "fuzz corpus check: $corpus_mentions corpus paths named in docs verified"
 
 if [ "$fail" -ne 0 ]; then
   echo "docs link check FAILED"

@@ -24,10 +24,15 @@ CommitCheckReport checkCommitSafety(const Trace& trace,
       ++report.indications;
       lastLen = std::max(lastLen, commit->length);
 
-      // d_i at indication time: last snapshot at time <= ev.time.
+      // d_i at indication time: last snapshot RECORDED before the
+      // indication. Ordering is by the per-process record order, not the
+      // timestamp — several records share one simulated time within a
+      // step (the automaton aligns d_i and then indicates at the same t),
+      // and ordering by time alone would compare the indication against
+      // the pre-alignment snapshot, flagging phantom revocations.
       const std::vector<MsgId>* at = nullptr;
       for (const DeliverySnapshot& snap : snapshots) {
-        if (snap.time <= ev.time) {
+        if (snap.order <= ev.order) {
           at = &snap.seq;
         } else {
           break;
@@ -42,9 +47,10 @@ CommitCheckReport checkCommitSafety(const Trace& trace,
         continue;
       }
       const std::vector<MsgId> prefix(at->begin(), at->begin() + commit->length);
-      // Every later snapshot must preserve the prefix verbatim.
+      // Every snapshot recorded after the indication must preserve the
+      // prefix verbatim.
       for (const DeliverySnapshot& snap : snapshots) {
-        if (snap.time < ev.time) continue;
+        if (snap.order < ev.order) continue;
         const bool ok =
             snap.seq.size() >= prefix.size() &&
             std::equal(prefix.begin(), prefix.end(), snap.seq.begin());

@@ -1,0 +1,386 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <utility>
+
+#include "common/ensure.h"
+
+namespace wfd {
+
+Json Json::boolean(bool b) {
+  Json j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = b;
+  return j;
+}
+
+Json Json::number(std::uint64_t u) {
+  Json j;
+  j.kind_ = Kind::kUInt;
+  j.uint_ = u;
+  return j;
+}
+
+Json Json::str(std::string s) {
+  Json j;
+  j.kind_ = Kind::kString;
+  j.string_ = std::move(s);
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+bool Json::asBool() const {
+  WFD_ENSURE_MSG(kind_ == Kind::kBool, "Json::asBool on non-bool");
+  return bool_;
+}
+
+std::uint64_t Json::asUInt() const {
+  WFD_ENSURE_MSG(kind_ == Kind::kUInt, "Json::asUInt on non-number");
+  return uint_;
+}
+
+const std::string& Json::asString() const {
+  WFD_ENSURE_MSG(kind_ == Kind::kString, "Json::asString on non-string");
+  return string_;
+}
+
+const std::vector<Json>& Json::items() const {
+  WFD_ENSURE_MSG(kind_ == Kind::kArray, "Json::items on non-array");
+  return items_;
+}
+
+const std::map<std::string, Json>& Json::fields() const {
+  WFD_ENSURE_MSG(kind_ == Kind::kObject, "Json::fields on non-object");
+  return fields_;
+}
+
+void Json::push(Json v) {
+  WFD_ENSURE_MSG(kind_ == Kind::kArray, "Json::push on non-array");
+  items_.push_back(std::move(v));
+}
+
+void Json::set(const std::string& key, Json v) {
+  WFD_ENSURE_MSG(kind_ == Kind::kObject, "Json::set on non-object");
+  fields_[key] = std::move(v);
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  auto it = fields_.find(key);
+  return it == fields_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+void dumpString(const std::string& s, std::string& out) {
+  out += '"';
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  out += '"';
+}
+
+void dumpValue(const Json& j, std::string& out) {
+  switch (j.kind()) {
+    case Json::Kind::kNull:
+      out += "null";
+      return;
+    case Json::Kind::kBool:
+      out += j.asBool() ? "true" : "false";
+      return;
+    case Json::Kind::kUInt:
+      out += std::to_string(j.asUInt());
+      return;
+    case Json::Kind::kString:
+      dumpString(j.asString(), out);
+      return;
+    case Json::Kind::kArray: {
+      out += '[';
+      bool first = true;
+      for (const Json& item : j.items()) {
+        if (!first) out += ',';
+        first = false;
+        dumpValue(item, out);
+      }
+      out += ']';
+      return;
+    }
+    case Json::Kind::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, value] : j.fields()) {
+        if (!first) out += ',';
+        first = false;
+        dumpString(key, out);
+        out += ':';
+        dumpValue(value, out);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+/// Recursive-descent parser over the canonical subset.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  std::optional<Json> run(std::string* error) {
+    std::optional<Json> v = value();
+    if (v) {
+      skipWs();
+      if (pos_ != text_.size()) v = fail("trailing characters after value");
+    }
+    if (!v && error != nullptr) *error = error_;
+    return v;
+  }
+
+ private:
+  std::optional<Json> fail(const std::string& why) {
+    if (error_.empty()) {
+      error_ = why + " at offset " + std::to_string(pos_);
+    }
+    return std::nullopt;
+  }
+
+  void skipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char* word) {
+    std::size_t len = 0;
+    while (word[len] != '\0') ++len;
+    if (text_.compare(pos_, len, word) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<std::string> parseString() {
+    if (!consume('"')) {
+      fail("expected string");
+      return std::nullopt;
+    }
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"':
+            out += '"';
+            break;
+          case '\\':
+            out += '\\';
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              fail("truncated \\u escape");
+              return std::nullopt;
+            }
+            unsigned int code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                fail("bad \\u escape digit");
+                return std::nullopt;
+              }
+            }
+            if (code > 0x7f) {
+              // The writer only emits \u00XX for control bytes; anything
+              // larger would need UTF-8 encoding this codec doesn't do.
+              fail("\\u escape beyond 0x7f unsupported");
+              return std::nullopt;
+            }
+            out += static_cast<char>(code);
+            break;
+          }
+          default:
+            fail("unsupported escape");
+            return std::nullopt;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string");
+        return std::nullopt;
+      } else {
+        out += c;
+      }
+    }
+    fail("unterminated string");
+    return std::nullopt;
+  }
+
+  std::optional<Json> value() {
+    // Depth guard: malformed input must yield a parse error, never a
+    // stack overflow from deeply nested brackets.
+    if (depth_ >= 128) return fail("nesting too deep");
+    ++depth_;
+    std::optional<Json> v = valueInner();
+    --depth_;
+    return v;
+  }
+
+  std::optional<Json> valueInner() {
+    skipWs();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    char c = text_[pos_];
+    if (c == 'n') {
+      if (literal("null")) return Json::null();
+      return fail("bad literal");
+    }
+    if (c == 't') {
+      if (literal("true")) return Json::boolean(true);
+      return fail("bad literal");
+    }
+    if (c == 'f') {
+      if (literal("false")) return Json::boolean(false);
+      return fail("bad literal");
+    }
+    if (c == '"') {
+      std::optional<std::string> s = parseString();
+      if (!s) return std::nullopt;
+      return Json::str(std::move(*s));
+    }
+    if (c >= '0' && c <= '9') return number();
+    if (c == '[') return arrayValue();
+    if (c == '{') return objectValue();
+    return fail("unexpected character");
+  }
+
+  std::optional<Json> number() {
+    std::uint64_t v = 0;
+    std::size_t digits = 0;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      const std::uint64_t digit = static_cast<std::uint64_t>(text_[pos_] - '0');
+      if (v > (UINT64_MAX - digit) / 10) return fail("number overflows u64");
+      v = v * 10 + digit;
+      ++pos_;
+      ++digits;
+    }
+    if (digits == 0) return fail("expected digits");
+    if (pos_ < text_.size() &&
+        (text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      return fail("only unsigned integers supported");
+    }
+    return Json::number(v);
+  }
+
+  std::optional<Json> arrayValue() {
+    ++pos_;  // '['
+    Json arr = Json::array();
+    skipWs();
+    if (consume(']')) return arr;
+    while (true) {
+      std::optional<Json> item = value();
+      if (!item) return std::nullopt;
+      arr.push(std::move(*item));
+      if (consume(',')) continue;
+      if (consume(']')) return arr;
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  std::optional<Json> objectValue() {
+    ++pos_;  // '{'
+    Json obj = Json::object();
+    skipWs();
+    if (consume('}')) return obj;
+    while (true) {
+      skipWs();
+      std::optional<std::string> key = parseString();
+      if (!key) return std::nullopt;
+      if (!consume(':')) return fail("expected ':'");
+      std::optional<Json> v = value();
+      if (!v) return std::nullopt;
+      // Duplicate keys are an error, not a silent last-wins overwrite:
+      // the canonical writer never emits them, so one in a hand-edited
+      // corpus file is a stale-line mistake that must fail loudly.
+      if (obj.find(*key) != nullptr) return fail("duplicate object key");
+      obj.set(*key, std::move(*v));
+      if (consume(',')) continue;
+      if (consume('}')) return obj;
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+std::string Json::dump() const {
+  std::string out;
+  dumpValue(*this, out);
+  return out;
+}
+
+std::optional<Json> Json::parse(const std::string& text, std::string* error) {
+  return Parser(text).run(error);
+}
+
+}  // namespace wfd

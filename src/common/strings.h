@@ -1,11 +1,22 @@
 // Small string helpers for diagnostics and bench tables.
 #pragma once
 
+#include <cstdint>
+#include <cstdio>
 #include <sstream>
 #include <string>
 #include <vector>
 
 namespace wfd {
+
+/// 16-char lowercase hex of a u64 — the digest/fingerprint wire format
+/// shared by wfd_scenarios and wfd_explore JSON output and the corpus
+/// codec (one implementation so the format cannot diverge).
+inline std::string hex64(std::uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
 
 /// Joins elements with a separator using operator<<.
 template <typename Range>

@@ -11,17 +11,19 @@ MultiPaxosEngine::MultiPaxosEngine(ProcessId self, std::size_t processCount)
   WFD_ENSURE(self < processCount);
 }
 
+void MultiPaxosEngine::abandonReign() {
+  prepared_ = false;
+  myBallot_ = 0;
+  promisers_.clear();
+  constrained_.clear();
+  proposedByMe_.clear();
+}
+
 void MultiPaxosEngine::tick(bool isLeader, Outbox& out) {
   if (!isLeader) {
     // Losing leadership abandons the prepared state: a later reign starts
     // a fresh, higher ballot.
-    if (prepared_ || myBallot_ != 0) {
-      prepared_ = false;
-      myBallot_ = 0;
-      promisers_.clear();
-      constrained_.clear();
-      proposedByMe_.clear();
-    }
+    if (prepared_ || myBallot_ != 0) abandonReign();
     return;
   }
   if (prepared_) return;
@@ -52,6 +54,24 @@ bool MultiPaxosEngine::onMessage(ProcessId from, const Payload& msg, Outbox& out
       promisedBallot_ = prepare->ballot;
       out.sends.emplace_back(from,
                              Payload::of(PaxosPromiseMsg{prepare->ballot, accepted_}));
+    } else if (prepare->ballot < promisedBallot_) {
+      // A stale prepare can never gather this acceptor's promise again;
+      // tell the proposer which ballot it must climb over. (An equal
+      // ballot is a retransmission — the original promise is already on
+      // its reliable way, so stay silent.)
+      out.sends.emplace_back(from, Payload::of(PaxosNackMsg{promisedBallot_}));
+    }
+    return true;
+  }
+  if (const auto* nack = msg.as<PaxosNackMsg>()) {
+    if (myBallot_ != 0 && nack->promised > myBallot_) {
+      // This ballot is dead at a (potential) quorum member: abandon the
+      // whole reign and re-prepare on the next tick with a ballot above
+      // everything the nack proved promised. Clearing proposedByMe_
+      // re-proposes undecided instances under the new ballot (their
+      // values re-constrained by the fresh promises — Paxos safety).
+      round_ = std::max(round_, nack->promised / processCount_ + 1);
+      abandonReign();
     }
     return true;
   }
@@ -72,6 +92,8 @@ bool MultiPaxosEngine::onMessage(ProcessId from, const Payload& msg, Outbox& out
       out.sends.emplace_back(
           kBroadcast,
           Payload::of(PaxosAcceptedMsg{accept->ballot, accept->instance, accept->value}));
+    } else {
+      out.sends.emplace_back(from, Payload::of(PaxosNackMsg{promisedBallot_}));
     }
     return true;
   }

@@ -48,6 +48,15 @@ struct PaxosAcceptedMsg {
   Instance instance = 0;
   Value value;
 };
+/// Unicast rejection of a stale prepare or accept: carries the acceptor's
+/// promised ballot so the proposer can abandon its dead ballot and
+/// re-prepare above it. Without nacks a proposer whose ballot was
+/// overtaken mid-reign keeps believing it is prepared while every accept
+/// it sends is silently ignored — a permanent stall the randomized
+/// explorer (wfd_explore) surfaced under pre-stabilization leader churn.
+struct PaxosNackMsg {
+  Ballot promised = 0;
+};
 
 /// Per-process multi-Paxos engine (proposer + acceptor + learner).
 class MultiPaxosEngine {
@@ -90,6 +99,9 @@ class MultiPaxosEngine {
 
  private:
   std::size_t majority() const { return processCount_ / 2 + 1; }
+  /// Tears down all proposer-side reign state (shared by leadership loss
+  /// and nack-driven ballot abandonment — one site to extend).
+  void abandonReign();
   Ballot ownBallot(std::uint64_t round) const {
     return round * processCount_ + self_ + 1;  // +1 keeps 0 as "none"
   }

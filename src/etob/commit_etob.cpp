@@ -13,6 +13,20 @@ bool isPrefix(const std::vector<MsgId>& prefix, const std::vector<MsgId>& seq) {
          std::equal(prefix.begin(), prefix.end(), seq.begin());
 }
 
+/// Total strength order on commit sequences: longer beats shorter, equal
+/// lengths tie-break to the lexicographically smaller id sequence. Every
+/// process applies the same rule to every commit it learns, and commits
+/// only ever travel by broadcast over reliable links, so all correct
+/// processes converge on the same strongest commit — which is what keeps
+/// eTOB's eventual agreement alive even in runs outside the §7 proviso
+/// where two pre-stabilization leaders managed to commit conflicting
+/// prefixes (a schedule wfd_explore finds readily; the previous behaviour
+/// of refusing conflicting commits forever deadlocked convergence).
+bool strongerCommit(const std::vector<MsgId>& a, const std::vector<MsgId>& b) {
+  if (a.size() != b.size()) return a.size() > b.size();
+  return a < b;
+}
+
 }  // namespace
 
 CommitEtobAutomaton::CommitEtobAutomaton(EtobConfig config)
@@ -81,6 +95,15 @@ void CommitEtobAutomaton::onMessage(const StepContext& ctx, ProcessId from,
       ++commitConflicts_;
       return;
     }
+    // Stale-epoch guard: the candidate was snapshotted when it was this
+    // leader's promote sequence, but an adoptCommit in between may have
+    // REBASED promote_ into a different order. Committing such a moot
+    // snapshot would make committed_ diverge from every future promote —
+    // each then refused by the commit guard at every process, this one
+    // included, freezing d_i forever (a deadlock wfd_explore shrank to a
+    // 5-process run). Only commit candidates the current promote order
+    // still stands behind.
+    if (!isPrefix(candidate, promote_)) return;
     committed_ = candidate;
     std::vector<AppMsg> content;
     content.reserve(committed_.size());
@@ -140,13 +163,16 @@ void CommitEtobAutomaton::adoptCommit(const std::vector<AppMsg>& prefix,
   std::vector<MsgId> ids;
   ids.reserve(prefix.size());
   for (const AppMsg& m : prefix) ids.push_back(m.id);
-  if (ids.size() <= committed_.size()) {
-    if (!isPrefix(ids, committed_)) ++commitConflicts_;
-    return;
-  }
+  if (isPrefix(ids, committed_)) return;  // already covered
   if (!isPrefix(committed_, ids)) {
+    // Conflicting commit: possible only outside the §7 proviso (two
+    // leaders each gathered a majority of stale acknowledgments). Keep
+    // the stronger of the two — a deterministic join all processes
+    // compute identically — so convergence survives; the local prefix
+    // indication is revoked, which is exactly what §7 says cannot be
+    // avoided without the proviso.
     ++commitConflicts_;
-    return;
+    if (!strongerCommit(ids, committed_)) return;
   }
   // Learn the content (the committing leader included it) and rebase the
   // local promote sequence onto the committed prefix.

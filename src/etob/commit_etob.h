@@ -17,7 +17,16 @@
 //    it promoted at e as committed and broadcasts it (content included);
 //  * every process refuses to adopt a promote that contradicts its local
 //    committed prefix, and every leader rebuilds its promote sequence to
-//    extend any newly learned committed prefix.
+//    extend any newly learned committed prefix;
+//  * CONFLICTING commits (reachable only outside the §7 proviso, when two
+//    pre-stabilization leaders each gather a majority of stale
+//    acknowledgments) resolve by a deterministic strength join — longer
+//    wins, equal lengths tie-break to the lexicographically smaller
+//    sequence — so every correct process converges on the same committed
+//    prefix and eTOB's eventual agreement survives; the losing process's
+//    indication is revoked, which is why commit safety is asserted only
+//    for proviso runs (the scenario catalog) and not by the fuzz oracle
+//    (docs/FUZZING.md).
 //
 // The guarantees match §7's proviso: indications are produced only while
 // a majority acknowledges the same leader (they stop, rather than lie,

@@ -1,0 +1,153 @@
+// FuzzPlan: a plain-data genome describing one sampled admissible run —
+// the unit the explorer generates, runs, shrinks and persists.
+//
+// Where a Scenario (src/scenario/) is a hand-written run family with
+// factory closures, a FuzzPlan is pure data: every field is a number or
+// an enum, so a plan can be (a) sampled from a single 64-bit seed,
+// (b) serialized to portable JSON (plan_codec.h), (c) mutated by the
+// shrinker one field at a time, and (d) lowered to a Scenario
+// (planScenario) that reuses the whole PR-2 NetworkModel / checker
+// machinery unchanged.
+//
+// Admissibility: the paper's results quantify over admissible runs only,
+// so the sampler must stay inside that space — crashes leave at least
+// one correct process (a correct majority for the consensus-based TOB
+// stack), partitions always heal (width < period for recurring windows,
+// at most one recurring spec so joint windows cannot cover all time),
+// delays are finite with minDelay >= 1, clock skews keep every process
+// stepping forever, and the horizon leaves enough settle time after the
+// last scheduled disturbance for the liveness clauses (convergence,
+// EC termination) to be fair assertions. planAdmissibilityViolations()
+// is the executable form of that contract; docs/FUZZING.md is the prose.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "scenario/scenario.h"
+
+namespace wfd {
+
+/// One crash of the plan's failure pattern.
+struct PlanCrash {
+  ProcessId process = kNoProcess;
+  Time time = 0;
+};
+
+/// One partition window family. `isolate` == kNoProcess partitions every
+/// link (a total blackout); otherwise only links touching that process.
+struct PlanPartition {
+  Time start = 0;
+  Time width = 0;
+  /// 0 = one-shot window [start, start + width); else recurring.
+  Time period = 0;
+  ProcessId isolate = kNoProcess;
+};
+
+/// Duplication + reordering knobs; dupNum == 0 disables the layer.
+struct PlanChaos {
+  std::uint32_t dupNum = 0;
+  std::uint32_t dupDen = 1;
+  std::uint32_t maxExtraCopies = 0;
+  Time reorderJitter = 0;
+  /// kNoProcess = all links; otherwise only links touching this process.
+  ProcessId onlyTouching = kNoProcess;
+};
+
+/// Per-process λ-period scaling factor num/den (1/1 = no skew).
+struct PlanSkew {
+  std::uint64_t num = 1;
+  std::uint64_t den = 1;
+};
+
+/// Per-link slowdown: every link touching `process` is `factor`x slower.
+/// process == kNoProcess disables the layer.
+struct PlanSlowLink {
+  ProcessId process = kNoProcess;
+  Time factor = 1;
+};
+
+/// Broadcast workload shape (ignored by the omega-ec stack).
+struct PlanWorkload {
+  Time start = 100;
+  Time interval = 50;
+  std::size_t perProcess = 4;
+  bool causalChain = false;
+  bool crossDeps = false;
+};
+
+/// A complete sampled run description. (plan) fully determines the run:
+/// the simulator is seeded with simSeed and all other nondeterminism is
+/// data here.
+struct FuzzPlan {
+  AlgoStack stack = AlgoStack::kEtob;
+  std::size_t processCount = 3;
+  std::uint64_t simSeed = 1;
+
+  Time timeoutPeriod = 10;
+  Time minDelay = 20;
+  Time maxDelay = 40;
+
+  Time tauOmega = 0;
+  OmegaPreStabilization omegaMode = OmegaPreStabilization::kSplitBrain;
+
+  std::vector<PlanCrash> crashes;
+  std::vector<PlanPartition> partitions;
+  PlanChaos chaos;
+  /// Either empty (no skew layer) or exactly processCount entries.
+  std::vector<PlanSkew> skews;
+  PlanSlowLink slowLink;
+
+  PlanWorkload workload;
+  /// Only meaningful for AlgoStack::kOmegaEc (must be 0 otherwise).
+  Instance ecInstances = 0;
+
+  /// Run horizon; sampler and shrinker always set planHorizon(*this).
+  Time maxTime = 0;
+};
+
+/// Parses/prints the AlgoStack names used in plans and on the CLI
+/// (same strings as algoStackName). Returns false on unknown name.
+bool parseAlgoStack(const std::string& name, AlgoStack* out);
+
+const char* omegaModeName(OmegaPreStabilization mode);
+bool parseOmegaMode(const std::string& name, OmegaPreStabilization* out);
+
+/// Deterministic per-run seed derivation (splitmix64 over the tuple), so
+/// run i of `wfd_explore --seed S` is the same plan in every invocation
+/// of the same build. (The derivation itself is platform-independent,
+/// but the sampler's draws go through std::uniform_int_distribution,
+/// whose algorithm is implementation-defined — plans only replay
+/// identically as serialized DATA, which is what the corpus relies on.)
+std::uint64_t derivePlanSeed(std::uint64_t masterSeed, AlgoStack stack,
+                             std::uint64_t runIndex);
+
+/// Samples one admissible plan for the stack from the derived seed.
+/// Postcondition: planAdmissibilityViolations(plan).empty().
+FuzzPlan sampleFuzzPlan(AlgoStack stack, std::uint64_t masterSeed,
+                        std::uint64_t runIndex);
+
+/// The horizon the sampler assigns: last scheduled disturbance (workload
+/// end, crashes, tau_Omega, partition windows) plus a settle margin
+/// scaled by delays, skew and the EC instance count. Deterministic in the
+/// plan's other fields; the shrinker re-derives it after every mutation
+/// so shrunken plans also shrink in wall-clock cost.
+Time planHorizon(const FuzzPlan& plan);
+
+/// Executable admissibility contract. Empty = admissible. Each entry is
+/// one human-readable violated invariant.
+std::vector<std::string> planAdmissibilityViolations(const FuzzPlan& plan);
+
+/// Lowers the plan to a runnable Scenario (pattern, RandomScheduleModel
+/// network, default Omega detector, per-stack spec checker set). The
+/// scenario's name is "fuzz-<stack>"; run it with
+/// runScenario(planScenario(p), p.simSeed).
+Scenario planScenario(const FuzzPlan& plan);
+
+/// Stable 64-bit fingerprint of the plan: FNV-1a over the canonical JSON
+/// encoding, so equal fingerprints mean equal plans on every platform.
+std::uint64_t planFingerprint(const FuzzPlan& plan);
+
+}  // namespace wfd

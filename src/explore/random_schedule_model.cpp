@@ -1,0 +1,102 @@
+#include "explore/random_schedule_model.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/ensure.h"
+
+namespace wfd {
+
+namespace {
+
+std::shared_ptr<const NetworkModel> composeFromPlan(const FuzzPlan& plan) {
+  const std::size_t n = plan.processCount;
+  WFD_ENSURE_MSG(plan.minDelay >= 1 && plan.minDelay <= plan.maxDelay,
+                 "RandomScheduleModel: bad delay bounds");
+
+  // Base layer: uniform delays, or per-link slowdown around one process.
+  std::shared_ptr<const NetworkModel> stack;
+  if (plan.slowLink.process != kNoProcess) {
+    WFD_ENSURE(plan.slowLink.process < n && plan.slowLink.factor >= 1);
+    stack = AsymmetricDelayModel::slowProcess(plan.minDelay, plan.maxDelay,
+                                              plan.slowLink.process,
+                                              plan.slowLink.factor);
+  } else {
+    stack = std::make_shared<UniformDelayModel>(plan.minDelay, plan.maxDelay,
+                                                /*fixed=*/false);
+  }
+
+  if (plan.chaos.dupNum > 0) {
+    ChaosLinkModel::Config chaos;
+    chaos.dupNum = plan.chaos.dupNum;
+    chaos.dupDen = plan.chaos.dupDen;
+    chaos.maxExtraCopies = plan.chaos.maxExtraCopies;
+    chaos.reorderJitter = plan.chaos.reorderJitter;
+    if (plan.chaos.onlyTouching != kNoProcess) {
+      WFD_ENSURE(plan.chaos.onlyTouching < n);
+      const ProcessId hub = plan.chaos.onlyTouching;
+      chaos.affects = [hub](ProcessId from, ProcessId to) {
+        return from == hub || to == hub;
+      };
+    }
+    stack = std::make_shared<ChaosLinkModel>(std::move(stack), chaos);
+  }
+
+  if (!plan.skews.empty()) {
+    WFD_ENSURE_MSG(plan.skews.size() == n,
+                   "RandomScheduleModel: skew list size != processCount");
+    std::vector<ClockSkewModel::Skew> skews;
+    skews.reserve(n);
+    for (const PlanSkew& s : plan.skews) {
+      WFD_ENSURE(s.num >= 1 && s.den >= 1);
+      skews.push_back(ClockSkewModel::Skew{s.num, s.den});
+    }
+    stack = std::make_shared<ClockSkewModel>(std::move(stack), std::move(skews));
+  }
+
+  if (!plan.partitions.empty()) {
+    std::vector<PartitionSpec> specs;
+    specs.reserve(plan.partitions.size());
+    for (const PlanPartition& p : plan.partitions) {
+      WFD_ENSURE_MSG(p.width >= 1 && (p.period == 0 || p.period > p.width),
+                     "RandomScheduleModel: partition never heals");
+      PartitionSpec spec;
+      spec.start = p.start;
+      spec.width = p.width;
+      spec.period = p.period;
+      if (p.isolate != kNoProcess) {
+        WFD_ENSURE(p.isolate < n);
+        const ProcessId victim = p.isolate;
+        spec.affects = [victim](ProcessId from, ProcessId to) {
+          return from == victim || to == victim;
+        };
+      }
+      specs.push_back(std::move(spec));
+    }
+    stack = std::make_shared<PartitionModel>(std::move(stack), std::move(specs));
+  }
+
+  return stack;
+}
+
+}  // namespace
+
+RandomScheduleModel::RandomScheduleModel(const FuzzPlan& plan)
+    : inner_(composeFromPlan(plan)) {}
+
+void RandomScheduleModel::schedule(const LinkSend& send, Rng& rng,
+                                   std::vector<Time>& arrivals) const {
+  inner_->schedule(send, rng, arrivals);
+}
+
+Time RandomScheduleModel::lambdaPeriod(ProcessId p, Time basePeriod) const {
+  return inner_->lambdaPeriod(p, basePeriod);
+}
+
+bool RandomScheduleModel::mayDuplicate() const { return inner_->mayDuplicate(); }
+
+std::string RandomScheduleModel::name() const {
+  return "random[" + inner_->name() + "]";
+}
+
+}  // namespace wfd

@@ -1,0 +1,43 @@
+// RandomScheduleModel: the network half of a FuzzPlan, realized as one
+// NetworkModel composed from the PR-2 decorators.
+//
+// The plan's network genome (base delays, optional slow-process links,
+// optional duplication+reordering, optional per-process clock skew,
+// partition windows) is lowered to the decorator stack
+//
+//     PartitionModel( ClockSkewModel( ChaosLinkModel( base ) ) )
+//
+// with PartitionModel outermost, per the composition-order warning in
+// sim/network_model.h (jitter applied outside a partition could move a
+// deferred arrival back inside a later window). Every layer is omitted
+// when the plan disables it, so a fully quiet genome is exactly the
+// legacy UniformDelayModel. Because all randomness still flows through
+// the simulator's Rng, a (plan) value fully determines the run.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "explore/fuzz_plan.h"
+#include "sim/network_model.h"
+
+namespace wfd {
+
+class RandomScheduleModel final : public NetworkModel {
+ public:
+  /// Requires planAdmissibilityViolations(plan).empty() for the network
+  /// fields (WFD_ENSUREs the structural ones it depends on).
+  explicit RandomScheduleModel(const FuzzPlan& plan);
+
+  void schedule(const LinkSend& send, Rng& rng,
+                std::vector<Time>& arrivals) const override;
+  Time lambdaPeriod(ProcessId p, Time basePeriod) const override;
+  bool mayDuplicate() const override;
+  /// "random[<composed stack name>]" — diagnostics show the genome.
+  std::string name() const override;
+
+ private:
+  std::shared_ptr<const NetworkModel> inner_;
+};
+
+}  // namespace wfd

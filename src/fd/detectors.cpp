@@ -3,18 +3,14 @@
 #include <algorithm>
 
 #include "common/ensure.h"
+#include "common/hash.h"
 
 namespace wfd {
 namespace {
 
-/// splitmix64 — stateless pseudo-random hash used where an oracle needs
-/// deterministic "noise" as a pure function of (seed, p, t).
-std::uint64_t mix(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
+/// Stateless pseudo-random hash used where an oracle needs deterministic
+/// "noise" as a pure function of (seed, p, t).
+constexpr auto mix = splitmix64;
 
 }  // namespace
 

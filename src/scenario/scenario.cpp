@@ -7,6 +7,7 @@
 #include "checkers/ec_checker.h"
 #include "checkers/tob_checker.h"
 #include "common/ensure.h"
+#include "common/strings.h"
 #include "ec/ec_driver.h"
 #include "ec/omega_ec.h"
 #include "etob/commit_etob.h"
@@ -124,9 +125,11 @@ ScenarioRunResult runScenario(const Scenario& s, std::uint64_t seed) {
   }
   if (s.checks.commit) {
     const CommitCheckReport rep = checkCommitSafety(trace, fp);
+    // Run-specific details stay behind " (" — the part before it is the
+    // stable clause KEY the explorer's shrinker matches on (explorer.h).
     if (!rep.safetyOk()) {
-      fail("commit: " + std::to_string(rep.revokedCommits) +
-           " committed prefixes revoked");
+      fail("commit: prefixes revoked (" + std::to_string(rep.revokedCommits) +
+           ")");
     }
     if (s.checks.requireCommitProgress && rep.indications == 0) {
       fail("commit: no indications despite a stable majority");
@@ -161,7 +164,7 @@ ScenarioRunResult runScenario(const Scenario& s, std::uint64_t seed) {
       const auto* replica =
           dynamic_cast<const GossipLwwStore*>(&inst.sim->automaton(p));
       if (!replica->sameTable(*reference)) {
-        fail("gossip: replica " + std::to_string(p) + " diverged");
+        fail("gossip: divergence (replica " + std::to_string(p) + ")");
         break;
       }
     }
@@ -185,12 +188,7 @@ std::string toJsonLine(const ScenarioRunResult& r) {
   out += ",\"messages_delivered\":" + std::to_string(r.messagesDelivered);
   out += ",\"duplicates_suppressed\":" + std::to_string(r.duplicatesSuppressed);
   out += ",\"tau_hat\":" + std::to_string(r.tauHat);
-  char digestHex[19];
-  std::snprintf(digestHex, sizeof(digestHex), "%016llx",
-                static_cast<unsigned long long>(r.digest));
-  out += ",\"digest\":\"";
-  out += digestHex;
-  out += "\"";
+  out += ",\"digest\":\"" + hex64(r.digest) + "\"";
   out += ",\"failures\":[";
   for (std::size_t i = 0; i < r.failures.size(); ++i) {
     if (i > 0) out += ",";

@@ -33,6 +33,19 @@ enum class AlgoStack {
   kOmegaEc,          // Algorithm 4 (EC from Omega) under the proposal driver
 };
 
+/// Every stack, in enum order — THE canonical list. Anything that
+/// enumerates stacks (wfd_explore --stack all, the fuzz sampler's name
+/// parser, bench E11, sweep tests) iterates this, so adding an enum
+/// value above without extending this line is impossible to miss.
+inline constexpr AlgoStack kAllAlgoStacks[] = {
+    AlgoStack::kEtob, AlgoStack::kCommitEtob, AlgoStack::kTobViaConsensus,
+    AlgoStack::kGossipLww, AlgoStack::kOmegaEc};
+// Tripwire: when adding an AlgoStack, extend kAllAlgoStacks AND bump this
+// count (the -Wswitch warnings in algoStackName/makeStackAutomaton catch
+// the switches; this catches the array).
+static_assert(std::size(kAllAlgoStacks) == 5,
+              "kAllAlgoStacks must cover every AlgoStack enumerator");
+
 const char* algoStackName(AlgoStack stack);
 
 /// Which trace verifiers run after the simulation, and which extra

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 
+#include "common/hash.h"
 #include "sim/trace.h"
 
 namespace wfd {
@@ -25,14 +26,14 @@ class TraceHasher {
   void mix(std::uint64_t word) {
     for (int i = 0; i < 8; ++i) {
       state_ ^= (word >> (8 * i)) & 0xffu;
-      state_ *= 0x100000001b3ULL;  // FNV prime
+      state_ *= kFnv64Prime;
     }
   }
 
   std::uint64_t digest() const { return state_; }
 
  private:
-  std::uint64_t state_ = 0xcbf29ce484222325ULL;  // FNV offset basis
+  std::uint64_t state_ = kFnv64OffsetBasis;
 };
 
 /// Digest of everything the trace recorded. Requires nothing beyond the

@@ -118,11 +118,16 @@ void Simulator::applyEffects(ProcessId self, Effects& fx) {
       sendOne(out.to);
     }
   }
-  for (const Payload& out : fx.outputs()) {
-    trace_.recordOutput(self, now_, out);
-  }
+  // The delivery snapshot is recorded BEFORE the step's outputs: the
+  // single delivered() value is the step's final d_i, and outputs (e.g. a
+  // CommittedPrefix indication emitted after aligning d_i) describe the
+  // post-update state. Checkers that order records within a timestamp
+  // (commit_checker via OutputEvent::order) rely on this.
   if (fx.delivered().has_value()) {
     trace_.recordDelivered(self, now_, *fx.delivered());
+  }
+  for (const Payload& out : fx.outputs()) {
+    trace_.recordOutput(self, now_, out);
   }
 }
 

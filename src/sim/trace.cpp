@@ -13,10 +13,11 @@ Trace::Trace(std::size_t processCount, bool keepSnapshots)
       prefixViolations_(processCount, 0),
       lastViolationAt_(processCount, 0),
       lastChangeAt_(processCount, 0),
-      stepsTaken_(processCount, 0) {}
+      stepsTaken_(processCount, 0),
+      recordOrder_(processCount, 0) {}
 
 void Trace::recordOutput(ProcessId p, Time t, Payload value) {
-  outputs_.at(p).push_back(OutputEvent{t, std::move(value)});
+  outputs_.at(p).push_back(OutputEvent{t, recordOrder_.at(p)++, std::move(value)});
 }
 
 void Trace::recordDelivered(ProcessId p, Time t, std::vector<MsgId> seq) {
@@ -69,7 +70,8 @@ void Trace::recordDelivered(ProcessId p, Time t, std::vector<MsgId> seq) {
 
   old = std::move(seq);
   if (keepSnapshots_) {
-    snapshots_.at(p).push_back(DeliverySnapshot{t, current_.at(p)});
+    snapshots_.at(p).push_back(
+        DeliverySnapshot{t, recordOrder_.at(p)++, current_.at(p)});
   }
 }
 

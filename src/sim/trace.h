@@ -22,12 +22,20 @@ namespace wfd {
 /// One append-only output event of a process.
 struct OutputEvent {
   Time time = 0;
+  /// Per-process record order, shared with DeliverySnapshot::order: the
+  /// simulated clock is coarse (several records can share one timestamp
+  /// within a step), so checkers that care whether an output happened
+  /// before or after a d_i update — the commit checker does — order by
+  /// this instead of by time.
+  std::uint64_t order = 0;
   Payload value;
 };
 
 /// One observed value of d_i (recorded only when it changes).
 struct DeliverySnapshot {
   Time time = 0;
+  /// Per-process record order (see OutputEvent::order).
+  std::uint64_t order = 0;
   std::vector<MsgId> seq;
 };
 
@@ -101,6 +109,8 @@ class Trace {
   std::vector<Time> lastViolationAt_;
   std::vector<Time> lastChangeAt_;
   std::vector<std::uint64_t> stepsTaken_;
+  /// Per-process monotone record counter stamped on outputs + snapshots.
+  std::vector<std::uint64_t> recordOrder_;
   std::uint64_t messagesSent_ = 0;
   std::uint64_t messagesDelivered_ = 0;
   std::uint64_t weightSent_ = 0;

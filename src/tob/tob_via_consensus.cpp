@@ -34,10 +34,33 @@ void TobViaConsensusAutomaton::onTimeout(const StepContext& ctx, Effects& fx) {
     // experiments (batches absorb throughput).
     const Instance next = engine_.contiguousDecided() + 1;
     if (!engine_.proposalInFlight(next) && !engine_.decided(next)) {
-      std::unordered_set<MsgId> deliveredSet(d_.begin(), d_.end());
+      // Causal gating: a message joins the batch only once every declared
+      // dependency is already delivered or precedes it in this batch, so
+      // the consensus order never inverts C(m). The fixpoint loop batches
+      // whole chains submitted together in dependency order; a message
+      // whose dependency's submission has not reached this leader yet is
+      // held back (submissions are broadcast over reliable links, so it
+      // is only deferred, never dropped).
+      std::unordered_set<MsgId> satisfied(d_.begin(), d_.end());
       std::vector<AppMsg> batch;
-      for (const auto& [id, m] : pending_) {
-        if (!deliveredSet.contains(id)) batch.push_back(m);
+      bool progress = true;
+      while (progress) {
+        progress = false;
+        for (const auto& [id, m] : pending_) {
+          if (satisfied.contains(id)) continue;
+          bool ready = true;
+          for (MsgId dep : m.causalDeps) {
+            if (!satisfied.contains(dep)) {
+              ready = false;
+              break;
+            }
+          }
+          if (ready) {
+            batch.push_back(m);
+            satisfied.insert(id);
+            progress = true;
+          }
+        }
       }
       if (!batch.empty()) {
         engine_.propose(next, encodeAppMsgSeq(batch), out);

@@ -1,0 +1,288 @@
+// Explorer subsystem tests: sampler admissibility over the whole plan
+// space, seed-stable (byte-identical) exploration, the delta-debugging
+// shrinker's contract, RandomScheduleModel composition, and the
+// FailurePattern edge cases the sampler must survive (crash at time 0,
+// all-but-one crashed, crash exactly at a partition boundary).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "explore/explorer.h"
+#include "explore/fuzz_plan.h"
+#include "explore/random_schedule_model.h"
+#include "scenario/scenario.h"
+
+namespace wfd {
+namespace {
+
+constexpr auto& kStacks = kAllAlgoStacks;
+
+// --- Sampler ----------------------------------------------------------------
+
+TEST(FuzzSamplerTest, EverySampledPlanIsAdmissible) {
+  for (AlgoStack stack : kStacks) {
+    for (std::uint64_t i = 0; i < 100; ++i) {
+      const FuzzPlan plan = sampleFuzzPlan(stack, 7, i);
+      const auto violations = planAdmissibilityViolations(plan);
+      EXPECT_TRUE(violations.empty())
+          << algoStackName(stack) << " run " << i << ": "
+          << violations.front();
+      EXPECT_EQ(plan.maxTime, planHorizon(plan));
+      EXPECT_EQ(plan.stack, stack);
+    }
+  }
+}
+
+TEST(FuzzSamplerTest, SamplingIsAFunctionOfSeedAndIndex) {
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    const FuzzPlan a = sampleFuzzPlan(AlgoStack::kEtob, 3, i);
+    const FuzzPlan b = sampleFuzzPlan(AlgoStack::kEtob, 3, i);
+    EXPECT_EQ(planFingerprint(a), planFingerprint(b));
+  }
+  // Different indices and different master seeds explore different plans
+  // (fixed property of the derivation, not a probabilistic claim).
+  EXPECT_NE(planFingerprint(sampleFuzzPlan(AlgoStack::kEtob, 3, 0)),
+            planFingerprint(sampleFuzzPlan(AlgoStack::kEtob, 3, 1)));
+  EXPECT_NE(planFingerprint(sampleFuzzPlan(AlgoStack::kEtob, 3, 0)),
+            planFingerprint(sampleFuzzPlan(AlgoStack::kEtob, 4, 0)));
+  EXPECT_NE(planFingerprint(sampleFuzzPlan(AlgoStack::kEtob, 3, 0)),
+            planFingerprint(sampleFuzzPlan(AlgoStack::kGossipLww, 3, 0)));
+}
+
+TEST(FuzzSamplerTest, SamplerCoversTheGenomeSpace) {
+  // Across a modest window the sampler must exercise every network layer
+  // and every omega mode — otherwise the explorer silently stops
+  // covering part of the admissible space.
+  bool sawPartition = false, sawChaos = false, sawSkew = false,
+       sawSlow = false, sawCrash = false, sawRecurring = false;
+  std::set<std::string> modes;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const FuzzPlan p = sampleFuzzPlan(AlgoStack::kEtob, 1, i);
+    sawPartition |= !p.partitions.empty();
+    for (const PlanPartition& part : p.partitions) {
+      sawRecurring |= part.period != 0;
+    }
+    sawChaos |= p.chaos.dupNum > 0;
+    sawSkew |= !p.skews.empty();
+    sawSlow |= p.slowLink.process != kNoProcess;
+    sawCrash |= !p.crashes.empty();
+    modes.insert(omegaModeName(p.omegaMode));
+  }
+  EXPECT_TRUE(sawPartition && sawChaos && sawSkew && sawSlow && sawCrash &&
+              sawRecurring);
+  EXPECT_EQ(modes.size(), 3u);
+}
+
+TEST(FuzzSamplerTest, TobPlansKeepACorrectMajority) {
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    const FuzzPlan p = sampleFuzzPlan(AlgoStack::kTobViaConsensus, 11, i);
+    EXPECT_GT((p.processCount - p.crashes.size()) * 2, p.processCount) << i;
+  }
+}
+
+// --- RandomScheduleModel ----------------------------------------------------
+
+TEST(RandomScheduleModelTest, ComposesEveryLayerWithPartitionOutermost) {
+  FuzzPlan plan;
+  plan.processCount = 4;
+  plan.partitions.push_back(PlanPartition{500, 200, 1000, 2});
+  plan.chaos = PlanChaos{1, 3, 2, 20, kNoProcess};
+  plan.skews = {{1, 1}, {2, 1}, {1, 2}, {3, 2}};
+  plan.slowLink = PlanSlowLink{0, 3};
+  plan.maxTime = planHorizon(plan);
+  ASSERT_TRUE(planAdmissibilityViolations(plan).empty());
+
+  RandomScheduleModel model(plan);
+  const std::string name = model.name();
+  // Composition order is part of the admissibility story: partitions
+  // outermost (network_model.h's warning), then skew, chaos, base.
+  EXPECT_EQ(name.find("random[partition"), 0u) << name;
+  EXPECT_LT(name.find("clock-skew"), name.find("chaos")) << name;
+  EXPECT_LT(name.find("chaos"), name.find("asymmetric")) << name;
+  EXPECT_TRUE(model.mayDuplicate());
+  // Skew scales the lambda period of p1 by 2/1 and p2 by 1/2.
+  EXPECT_EQ(model.lambdaPeriod(1, 10), 20u);
+  EXPECT_EQ(model.lambdaPeriod(2, 10), 5u);
+}
+
+TEST(RandomScheduleModelTest, QuietGenomeIsPlainUniformDelay) {
+  FuzzPlan plan;
+  plan.maxTime = planHorizon(plan);
+  RandomScheduleModel model(plan);
+  EXPECT_EQ(model.name().find("random[uniform-delay"), 0u) << model.name();
+  EXPECT_FALSE(model.mayDuplicate());
+}
+
+// --- Explorer determinism (the seed-stability satellite) --------------------
+
+std::vector<std::string> collectRunLines(const ExploreOptions& options) {
+  std::vector<std::string> lines;
+  explore(options, [&lines](std::uint64_t i, const FuzzPlan& plan,
+                            const ScenarioRunResult& result) {
+    lines.push_back(fuzzRunJsonLine(i, plan, result));
+  });
+  return lines;
+}
+
+TEST(ExplorerTest, SameSeedSameRunsByteForByte) {
+  for (AlgoStack stack : {AlgoStack::kEtob, AlgoStack::kOmegaEc}) {
+    ExploreOptions options;
+    options.stack = stack;
+    options.runs = 10;
+    options.seed = 21;
+    const std::vector<std::string> a = collectRunLines(options);
+    const std::vector<std::string> b = collectRunLines(options);
+    ASSERT_EQ(a.size(), 10u);
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(ExplorerTest, SpecOracleHoldsOnASampledWindow) {
+  for (AlgoStack stack : kStacks) {
+    ExploreOptions options;
+    options.stack = stack;
+    options.runs = 8;
+    options.seed = 2024;
+    const ExploreReport report = explore(options);
+    EXPECT_EQ(report.runsExecuted, 8u);
+    EXPECT_TRUE(report.violations.empty()) << algoStackName(stack);
+  }
+}
+
+TEST(ExplorerTest, TimeBudgetOnlyTruncatesTheSequence) {
+  ExploreOptions options;
+  options.stack = AlgoStack::kEtob;
+  options.runs = 6;
+  options.seed = 5;
+  const std::vector<std::string> full = collectRunLines(options);
+  // A keepGoing() that stops after 3 runs yields exactly the prefix.
+  std::vector<std::string> truncated;
+  std::uint64_t budget = 3;
+  explore(
+      options,
+      [&truncated](std::uint64_t i, const FuzzPlan& plan,
+                   const ScenarioRunResult& result) {
+        truncated.push_back(fuzzRunJsonLine(i, plan, result));
+      },
+      [&budget]() { return budget-- > 0; });
+  ASSERT_EQ(truncated.size(), 3u);
+  EXPECT_TRUE(std::equal(truncated.begin(), truncated.end(), full.begin()));
+}
+
+// --- Shrinker ---------------------------------------------------------------
+
+TEST(ShrinkerTest, StrictOracleWitnessShrinksToItsEssence) {
+  // Find the first strict-TOB violation in a short window and shrink it:
+  // the result must still violate strong TOB, be admissible, and be no
+  // larger than the original in every dimension the passes reduce.
+  ExploreOptions options;
+  options.stack = AlgoStack::kEtob;
+  options.runs = 12;
+  options.seed = 42;
+  options.oracle = FuzzOracle::kStrictTob;
+  const ExploreReport report = explore(options);
+  ASSERT_FALSE(report.violations.empty())
+      << "pre-stabilization windows must violate strong TOB somewhere";
+  const ExploreViolation& v = report.violations.front();
+
+  EXPECT_FALSE(v.shrunken.result.pass);
+  const auto keys = failureKeys(v.shrunken.result);
+  EXPECT_NE(std::find(keys.begin(), keys.end(), "broadcast: strong-tob"),
+            keys.end());
+  EXPECT_TRUE(planAdmissibilityViolations(v.shrunken.plan).empty());
+  EXPECT_LE(v.shrunken.plan.processCount, v.plan.processCount);
+  EXPECT_LE(v.shrunken.plan.crashes.size(), v.plan.crashes.size());
+  EXPECT_LE(v.shrunken.plan.workload.perProcess, v.plan.workload.perProcess);
+  EXPECT_LE(v.shrunken.plan.maxTime, v.plan.maxTime);
+  EXPECT_GT(v.shrunken.accepted, 0u);  // something actually shrank
+
+  // Strong TOB only breaks through pre-stabilization disagreement, so
+  // the essential gene — a nonzero tau_Omega — must survive shrinking.
+  EXPECT_GT(v.shrunken.plan.tauOmega, 0u);
+  EXPECT_NE(v.shrunken.plan.omegaMode, OmegaPreStabilization::kStable);
+}
+
+TEST(ShrinkerTest, ShrinkingIsDeterministic) {
+  ExploreOptions options;
+  options.stack = AlgoStack::kEtob;
+  options.runs = 12;
+  options.seed = 42;
+  options.oracle = FuzzOracle::kStrictTob;
+  options.shrink = false;  // find without shrinking, shrink explicitly
+  const ExploreReport report = explore(options);
+  ASSERT_FALSE(report.violations.empty());
+  const FuzzPlan& failing = report.violations.front().plan;
+  const ShrinkResult a = shrinkFuzzPlan(failing, FuzzOracle::kStrictTob);
+  const ShrinkResult b = shrinkFuzzPlan(failing, FuzzOracle::kStrictTob);
+  EXPECT_EQ(planFingerprint(a.plan), planFingerprint(b.plan));
+  EXPECT_EQ(a.attempts, b.attempts);
+  EXPECT_EQ(a.accepted, b.accepted);
+}
+
+// --- FailurePattern edge cases under the explorer ---------------------------
+
+FuzzPlan quietEtobPlan(std::size_t n) {
+  FuzzPlan plan;
+  plan.stack = AlgoStack::kEtob;
+  plan.processCount = n;
+  plan.simSeed = 17;
+  plan.tauOmega = 600;
+  plan.omegaMode = OmegaPreStabilization::kSplitBrain;
+  plan.workload.perProcess = 3;
+  return plan;
+}
+
+TEST(ExploreEdgeCaseTest, CrashAtTimeZeroIsAdmissibleAndPasses) {
+  FuzzPlan plan = quietEtobPlan(4);
+  plan.crashes.push_back(PlanCrash{3, 0});  // never takes a single step
+  plan.maxTime = planHorizon(plan);
+  ASSERT_TRUE(planAdmissibilityViolations(plan).empty());
+  const ScenarioRunResult r = runFuzzPlan(plan, FuzzOracle::kSpec);
+  EXPECT_TRUE(r.pass) << (r.failures.empty() ? "?" : r.failures.front());
+
+  // The crashed-at-0 process must have taken no steps at all.
+  ScenarioInstance inst = instantiateScenario(planScenario(plan), plan.simSeed);
+  inst.sim->run();
+  EXPECT_EQ(inst.sim->trace().stepsTaken(3), 0u);
+}
+
+TEST(ExploreEdgeCaseTest, AllButOneCrashedStillConvergesForTheSurvivor) {
+  FuzzPlan plan = quietEtobPlan(4);
+  plan.crashes = {PlanCrash{0, 400}, PlanCrash{1, 0}, PlanCrash{2, 800}};
+  plan.maxTime = planHorizon(plan);
+  ASSERT_TRUE(planAdmissibilityViolations(plan).empty());
+  const ScenarioRunResult r = runFuzzPlan(plan, FuzzOracle::kSpec);
+  EXPECT_TRUE(r.pass) << (r.failures.empty() ? "?" : r.failures.front());
+}
+
+TEST(ExploreEdgeCaseTest, CrashExactlyAtPartitionBoundaries) {
+  // The victim crashes exactly when its isolation window starts (first
+  // case) and exactly when the window heals (second case): both runs
+  // must stay admissible and pass the spec oracle under the composed
+  // RandomScheduleModel.
+  for (Time crashAt : {Time{900}, Time{900 + 300}}) {
+    FuzzPlan plan = quietEtobPlan(5);
+    plan.partitions.push_back(PlanPartition{900, 300, 0, 4});
+    plan.crashes.push_back(PlanCrash{4, crashAt});
+    plan.maxTime = planHorizon(plan);
+    ASSERT_TRUE(planAdmissibilityViolations(plan).empty());
+    const ScenarioRunResult r = runFuzzPlan(plan, FuzzOracle::kSpec);
+    EXPECT_TRUE(r.pass) << "crashAt=" << crashAt << ": "
+                        << (r.failures.empty() ? "?" : r.failures.front());
+  }
+}
+
+TEST(ExploreEdgeCaseTest, FailureKeysStripDetailSuffixes) {
+  ScenarioRunResult r;
+  r.failures = {"broadcast: strong-tob (tau-hat=1234)",
+                "broadcast: strong-tob (tau-hat=99)", "ec: agreement"};
+  const std::vector<std::string> keys = failureKeys(r);
+  EXPECT_EQ(keys,
+            (std::vector<std::string>{"broadcast: strong-tob", "ec: agreement"}));
+}
+
+}  // namespace
+}  // namespace wfd

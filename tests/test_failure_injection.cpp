@@ -251,5 +251,46 @@ TEST_P(ChaosSweepTest, EtobSpecUnderCombinedChaos) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSweepTest,
                          ::testing::Values(2, 5, 8, 13, 27, 42, 77, 101));
 
+// --- FailurePattern edge cases (the fuzz sampler's boundary inputs) ---------
+
+TEST(FailurePatternEdgeTest, CrashAtTimeZero) {
+  auto fp = FailurePattern::crashesAt(3, {{1, 0}});
+  EXPECT_TRUE(fp.crashed(1, 0));  // p ∈ F(0): never takes any step
+  EXPECT_TRUE(fp.faulty(1));
+  EXPECT_EQ(fp.crashTime(1), 0u);
+  EXPECT_EQ(fp.aliveAt(0), (std::vector<ProcessId>{0, 2}));
+  EXPECT_EQ(fp.lastCrashTime(), 0u);
+  EXPECT_EQ(fp.lowestCorrect(), 0u);
+}
+
+TEST(FailurePatternEdgeTest, AllButOneCrashed) {
+  auto fp = FailurePattern::crashesAt(5, {{0, 10}, {1, 0}, {3, 20}, {4, 30}});
+  EXPECT_EQ(fp.correctSet(), (std::vector<ProcessId>{2}));
+  EXPECT_EQ(fp.faultySet(), (std::vector<ProcessId>{0, 1, 3, 4}));
+  EXPECT_EQ(fp.lowestCorrect(), 2u);
+  EXPECT_FALSE(fp.hasCorrectMajority());
+  EXPECT_EQ(fp.aliveAt(25), (std::vector<ProcessId>{2, 4}));
+}
+
+TEST(FailurePatternEdgeTest, MajorityBoundaryEvenN) {
+  // n = 4: 2 correct of 4 is NOT a majority (2*2 == 4), 3 of 4 is.
+  auto half = FailurePattern::crashesAt(4, {{2, 100}, {3, 100}});
+  EXPECT_FALSE(half.hasCorrectMajority());
+  auto oneCrash = FailurePattern::crashesAt(4, {{3, 100}});
+  EXPECT_TRUE(oneCrash.hasCorrectMajority());
+}
+
+TEST(FailurePatternEdgeTest, MajorityBoundaryOddN) {
+  // n = 5: 3 correct of 5 is a majority (3*2 > 5), 2 of 5 is not.
+  auto twoCrash = FailurePattern::crashesAt(5, {{3, 100}, {4, 100}});
+  EXPECT_TRUE(twoCrash.hasCorrectMajority());
+  auto threeCrash = FailurePattern::crashesAt(5, {{2, 100}, {3, 100}, {4, 100}});
+  EXPECT_FALSE(threeCrash.hasCorrectMajority());
+  // The named environments sit exactly on those boundaries.
+  EXPECT_TRUE(Environments::minorityCrash(5, 100).hasCorrectMajority());
+  EXPECT_FALSE(Environments::majorityCrash(5, 100).hasCorrectMajority());
+  EXPECT_FALSE(Environments::majorityCrash(4, 100).hasCorrectMajority());
+}
+
 }  // namespace
 }  // namespace wfd

@@ -1,0 +1,200 @@
+// JSON library + FuzzPlan/corpus codec tests: canonical round-trips,
+// malformed-input rejection, and the admissibility re-validation that
+// stops a hand-edited corpus file from smuggling an inadmissible run in.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/json.h"
+#include "explore/explorer.h"
+#include "explore/fuzz_plan.h"
+#include "explore/plan_codec.h"
+
+namespace wfd {
+namespace {
+
+// --- Json ------------------------------------------------------------------
+
+TEST(JsonTest, CanonicalDumpSortsKeysAndRoundTrips) {
+  Json obj = Json::object();
+  obj.set("zeta", Json::number(1));
+  obj.set("alpha", Json::boolean(true));
+  Json arr = Json::array();
+  arr.push(Json::str("a\"b\\c\nd"));
+  arr.push(Json::null());
+  obj.set("mid", std::move(arr));
+  const std::string dump = obj.dump();
+  EXPECT_EQ(dump, "{\"alpha\":true,\"mid\":[\"a\\\"b\\\\c\\nd\",null],\"zeta\":1}");
+
+  std::string error;
+  std::optional<Json> parsed = Json::parse(dump, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->dump(), dump);  // canonical fixed point
+}
+
+TEST(JsonTest, ParsesWhitespaceAndControlEscapes) {
+  std::optional<Json> v = Json::parse("  { \"k\" : [ 1 , 2 ] , \"s\" : \"\\u0007x\" } ");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->find("k")->items()[1].asUInt(), 2u);
+  EXPECT_EQ(v->find("s")->asString(), std::string("\ax"));
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\"}", "{\"a\":}", "tru", "1.5", "-3", "1e9",
+        "\"unterminated", "\"bad\\q\"", "[1] trailing",
+        "18446744073709551616" /* u64 overflow */,
+        "\"\\uD83D\"" /* beyond the \\u00XX subset */,
+        "{\"a\":1,\"a\":2}" /* duplicate key: stale-line hand edit */}) {
+    std::string error;
+    EXPECT_FALSE(Json::parse(bad, &error).has_value()) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+TEST(JsonTest, U64BoundaryValuesSurvive) {
+  const std::string dump =
+      Json::parse("18446744073709551615")->dump();  // UINT64_MAX
+  EXPECT_EQ(dump, "18446744073709551615");
+}
+
+// --- FuzzPlan codec ---------------------------------------------------------
+
+TEST(PlanCodecTest, SampledPlansRoundTripCanonically) {
+  for (AlgoStack stack : kAllAlgoStacks) {
+    for (std::uint64_t i = 0; i < 20; ++i) {
+      const FuzzPlan plan = sampleFuzzPlan(stack, 99, i);
+      const std::string dump = encodeFuzzPlan(plan).dump();
+      std::string error;
+      std::optional<Json> parsed = Json::parse(dump, &error);
+      ASSERT_TRUE(parsed.has_value()) << error;
+      std::optional<FuzzPlan> decoded = decodeFuzzPlan(*parsed, &error);
+      ASSERT_TRUE(decoded.has_value()) << error;
+      EXPECT_EQ(encodeFuzzPlan(*decoded).dump(), dump);
+      EXPECT_EQ(planFingerprint(*decoded), planFingerprint(plan));
+    }
+  }
+}
+
+TEST(PlanCodecTest, RejectsUnknownSchemaStackAndMode) {
+  const FuzzPlan plan = sampleFuzzPlan(AlgoStack::kEtob, 1, 0);
+  std::string error;
+
+  Json wrongSchema = encodeFuzzPlan(plan);
+  wrongSchema.set("schema", Json::str("wfd-fuzz-plan-v999"));
+  EXPECT_FALSE(decodeFuzzPlan(wrongSchema, &error).has_value());
+  EXPECT_NE(error.find("schema"), std::string::npos);
+
+  Json wrongStack = encodeFuzzPlan(plan);
+  wrongStack.set("stack", Json::str("raft"));
+  EXPECT_FALSE(decodeFuzzPlan(wrongStack, &error).has_value());
+
+  Json wrongMode = encodeFuzzPlan(plan);
+  wrongMode.set("omega_mode", Json::str("psychic"));
+  EXPECT_FALSE(decodeFuzzPlan(wrongMode, &error).has_value());
+}
+
+TEST(PlanCodecTest, RejectsInadmissiblePlans) {
+  // A structurally valid JSON plan whose semantics violate the
+  // admissibility contract must not decode.
+  FuzzPlan plan = sampleFuzzPlan(AlgoStack::kEtob, 1, 0);
+  plan.minDelay = plan.maxDelay + 1;  // delays inverted
+  std::string error;
+  EXPECT_FALSE(decodeFuzzPlan(encodeFuzzPlan(plan), &error).has_value());
+  EXPECT_NE(error.find("inadmissible"), std::string::npos);
+
+  plan = sampleFuzzPlan(AlgoStack::kEtob, 1, 0);
+  plan.crashes.clear();
+  for (ProcessId p = 0; p < plan.processCount; ++p) {
+    plan.crashes.push_back(PlanCrash{p, 100});  // nobody stays correct
+  }
+  EXPECT_FALSE(decodeFuzzPlan(encodeFuzzPlan(plan), &error).has_value());
+
+  plan = sampleFuzzPlan(AlgoStack::kEtob, 1, 0);
+  plan.maxTime = 10;  // below the fairness horizon
+  EXPECT_FALSE(decodeFuzzPlan(encodeFuzzPlan(plan), &error).has_value());
+}
+
+TEST(PlanCodecTest, UnknownFieldsAreLoudErrors) {
+  // A misspelled section must be a decode error, not a silently dropped
+  // fault layer (a hand-written "slowlink" plan would otherwise commit a
+  // strictly weaker regression than its author intended).
+  const FuzzPlan plan = sampleFuzzPlan(AlgoStack::kEtob, 1, 0);
+  std::string error;
+
+  Json typoTop = encodeFuzzPlan(plan);
+  Json slow = Json::object();
+  slow.set("process", Json::number(0));
+  slow.set("factor", Json::number(3));
+  typoTop.set("slowlink", std::move(slow));  // should be "slow_link"
+  EXPECT_FALSE(decodeFuzzPlan(typoTop, &error).has_value());
+  EXPECT_NE(error.find("unknown field 'slowlink'"), std::string::npos) << error;
+
+  Json typoNested = encodeFuzzPlan(plan);
+  Json workload = *typoNested.find("workload");
+  workload.set("per_proces", Json::number(3));  // typo inside a section
+  typoNested.set("workload", std::move(workload));
+  EXPECT_FALSE(decodeFuzzPlan(typoNested, &error).has_value());
+  EXPECT_NE(error.find("unknown field"), std::string::npos) << error;
+}
+
+TEST(PlanCodecTest, PartitionThatNeverHealsIsInadmissible) {
+  FuzzPlan plan = sampleFuzzPlan(AlgoStack::kEtob, 1, 0);
+  plan.partitions.clear();
+  plan.partitions.push_back(PlanPartition{100, 500, 400, kNoProcess});
+  plan.maxTime = planHorizon(plan);
+  std::string error;
+  EXPECT_FALSE(decodeFuzzPlan(encodeFuzzPlan(plan), &error).has_value());
+  EXPECT_NE(error.find("heal"), std::string::npos);
+}
+
+// --- Corpus entries ---------------------------------------------------------
+
+TEST(CorpusCodecTest, EntryRoundTripsAndReplays) {
+  const FuzzPlan plan = sampleFuzzPlan(AlgoStack::kEtob, 5, 3);
+  const CorpusEntry entry =
+      makeCorpusEntry("rt-test", "unit test", plan, FuzzOracle::kSpec);
+  const std::string dump = encodeCorpusEntry(entry).dump();
+  std::string error;
+  std::optional<CorpusEntry> decoded =
+      decodeCorpusEntry(*Json::parse(dump, &error), &error);
+  ASSERT_TRUE(decoded.has_value()) << error;
+  EXPECT_EQ(decoded->name, "rt-test");
+  EXPECT_EQ(decoded->oracle, "spec");
+  EXPECT_EQ(encodeCorpusEntry(*decoded).dump(), dump);
+  // The entry pins its own outcome, so replay must match.
+  std::string whyNot;
+  EXPECT_TRUE(replayCorpusEntry(*decoded, &whyNot)) << whyNot;
+}
+
+TEST(CorpusCodecTest, TamperedDigestFailsReplayOnMatchingStdlib) {
+  const FuzzPlan plan = sampleFuzzPlan(AlgoStack::kEtob, 5, 4);
+  CorpusEntry entry =
+      makeCorpusEntry("tamper-test", "unit test", plan, FuzzOracle::kSpec);
+  ASSERT_EQ(entry.expect.digests.size(), 1u);
+  entry.expect.digests[0].second ^= 1;  // flip one digest bit
+  std::string whyNot;
+  EXPECT_FALSE(replayCorpusEntry(entry, &whyNot));
+  EXPECT_NE(whyNot.find("digest"), std::string::npos);
+}
+
+TEST(CorpusCodecTest, TamperedExpectationFailsReplay) {
+  const FuzzPlan plan = sampleFuzzPlan(AlgoStack::kEtob, 5, 5);
+  CorpusEntry entry =
+      makeCorpusEntry("expect-test", "unit test", plan, FuzzOracle::kSpec);
+  entry.expect.pass = !entry.expect.pass;
+  EXPECT_FALSE(replayCorpusEntry(entry));
+}
+
+TEST(CorpusCodecTest, BarePlanDecodesAsPassExpectation) {
+  const FuzzPlan plan = sampleFuzzPlan(AlgoStack::kGossipLww, 2, 0);
+  std::string error;
+  std::optional<CorpusEntry> entry =
+      decodeCorpusEntry(encodeFuzzPlan(plan), &error);
+  ASSERT_TRUE(entry.has_value()) << error;
+  EXPECT_TRUE(entry->expect.pass);
+  EXPECT_TRUE(entry->expect.digests.empty());
+}
+
+}  // namespace
+}  // namespace wfd

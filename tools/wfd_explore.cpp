@@ -1,0 +1,244 @@
+// wfd_explore — randomized schedule exploration against the checker
+// oracles, with counterexample shrinking and corpus replay.
+//
+//   wfd_explore --stack all --runs 200 --seed 1
+//       sample 200 admissible FuzzPlans per stack from seed 1, run each
+//       under the stack's spec oracle, shrink any violation; one JSON
+//       line per run plus one summary line per stack (stdout carries no
+//       timing, so equal invocations are byte-identical).
+//   wfd_explore --stack etob --oracle strict-tob --runs 50 --seed 7
+//               --corpus-dir tests/corpus           (one command line)
+//       additionally assert strong TOB (tau-hat == 0): violations are
+//       EXPECTED under pre-stabilization disagreement; each is shrunk to
+//       a minimal separation witness and saved as a corpus entry.
+//   wfd_explore --replay tests/corpus/foo.json
+//       re-run a saved plan and verify it reproduces its recorded
+//       outcome (failure keys always; digest when pinned for this
+//       build's stdlib). This is what the corpus_replay_* ctest
+//       targets run.
+//   wfd_explore --time-budget 60 ...
+//       wall-clock cap per stack (truncates the run sequence; the runs
+//       that execute are still the deterministic prefix).
+//
+// Exit status: 0 iff every executed run met its oracle (spec mode), no
+// shrink invariant broke (strict mode exits 1 when violations were
+// found, since they were requested for harvesting — check the corpus
+// files instead), and every --replay matched its expectation.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+#include "explore/explorer.h"
+#include "explore/plan_codec.h"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --stack <name|all> [--runs N] [--seed S]\n"
+      "       [--oracle spec|strict-tob] [--no-shrink] [--time-budget SEC]\n"
+      "       [--corpus-dir DIR]\n"
+      "       %s --replay <plan-or-corpus.json>\n"
+      "       %s --list-stacks\n",
+      argv0, argv0, argv0);
+}
+
+std::uint64_t parseU64(const char* flag, const char* text) {
+  char* end = nullptr;
+  const std::uint64_t value = std::strtoull(text, &end, 10);
+  // strtoull silently wraps a leading '-' to a huge value: "--runs -1"
+  // must be a diagnostic, not an effectively infinite loop.
+  if (end == text || *end != '\0' || text[0] == '-' || text[0] == '+') {
+    std::fprintf(stderr, "%s: not a non-negative number: '%s'\n", flag, text);
+    std::exit(2);
+  }
+  return value;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string stackArg;
+  std::string replayPath;
+  std::string corpusDir;
+  std::uint64_t runs = 100;
+  std::uint64_t seed = 1;
+  std::uint64_t timeBudgetSec = 0;
+  wfd::FuzzOracle oracle = wfd::FuzzOracle::kSpec;
+  bool shrink = true;
+  bool listStacks = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--stack") {
+      stackArg = next();
+    } else if (arg == "--runs") {
+      runs = parseU64("--runs", next());
+    } else if (arg == "--seed") {
+      seed = parseU64("--seed", next());
+    } else if (arg == "--oracle") {
+      const char* name = next();
+      if (!wfd::parseFuzzOracle(name, &oracle)) {
+        std::fprintf(stderr, "--oracle: unknown oracle '%s'\n", name);
+        return 2;
+      }
+    } else if (arg == "--no-shrink") {
+      shrink = false;
+    } else if (arg == "--time-budget") {
+      timeBudgetSec = parseU64("--time-budget", next());
+    } else if (arg == "--corpus-dir") {
+      corpusDir = next();
+    } else if (arg == "--replay") {
+      replayPath = next();
+    } else if (arg == "--list-stacks") {
+      listStacks = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  if (listStacks) {
+    for (wfd::AlgoStack stack : wfd::kAllAlgoStacks) {
+      std::printf("%s\n", wfd::algoStackName(stack));
+    }
+    return 0;
+  }
+
+  if (!replayPath.empty()) {
+    std::string error;
+    std::optional<wfd::CorpusEntry> entry =
+        wfd::loadCorpusFile(replayPath, &error);
+    if (!entry) {
+      std::fprintf(stderr, "replay: %s\n", error.c_str());
+      return 2;
+    }
+    std::string whyNot;
+    const bool ok = wfd::replayCorpusEntry(*entry, &whyNot);
+    wfd::Json line = wfd::Json::object();
+    line.set("replay", wfd::Json::str(entry->name));
+    line.set("match", wfd::Json::boolean(ok));
+    std::printf("%s\n", line.dump().c_str());
+    if (!ok) std::fprintf(stderr, "replay mismatch: %s\n", whyNot.c_str());
+    return ok ? 0 : 1;
+  }
+
+  if (stackArg.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+  std::vector<wfd::AlgoStack> stacks;
+  if (stackArg == "all") {
+    stacks.assign(std::begin(wfd::kAllAlgoStacks), std::end(wfd::kAllAlgoStacks));
+  } else {
+    wfd::AlgoStack one;
+    if (!wfd::parseAlgoStack(stackArg, &one)) {
+      std::fprintf(stderr, "unknown stack '%s' (try --list-stacks)\n",
+                   stackArg.c_str());
+      return 2;
+    }
+    stacks.push_back(one);
+  }
+
+  std::uint64_t totalViolations = 0;
+  std::uint64_t corpusSaved = 0;
+  for (wfd::AlgoStack stack : stacks) {
+    wfd::ExploreOptions options;
+    options.stack = stack;
+    options.runs = runs;
+    options.seed = seed;
+    options.oracle = oracle;
+    options.shrink = shrink;
+
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(timeBudgetSec);
+    std::function<bool()> keepGoing;
+    if (timeBudgetSec > 0) {
+      keepGoing = [deadline]() {
+        return std::chrono::steady_clock::now() < deadline;
+      };
+    }
+
+    const wfd::ExploreReport report = wfd::explore(
+        options,
+        [](std::uint64_t i, const wfd::FuzzPlan& plan,
+           const wfd::ScenarioRunResult& result) {
+          std::printf("%s\n", wfd::fuzzRunJsonLine(i, plan, result).c_str());
+          std::fflush(stdout);
+        },
+        keepGoing);
+    totalViolations += report.violations.size();
+
+    for (const wfd::ExploreViolation& v : report.violations) {
+      // The shrunken witness, inline (stderr-free so byte-stable).
+      wfd::Json line = wfd::Json::object();
+      line.set("violation_run", wfd::Json::number(v.runIndex));
+      line.set("stack", wfd::Json::str(wfd::algoStackName(stack)));
+      wfd::Json keys = wfd::Json::array();
+      for (const std::string& k : wfd::failureKeys(v.result)) {
+        keys.push(wfd::Json::str(k));
+      }
+      line.set("failure_keys", std::move(keys));
+      line.set("shrink_attempts", wfd::Json::number(v.shrunken.attempts));
+      line.set("shrink_accepted", wfd::Json::number(v.shrunken.accepted));
+      line.set("shrunken_plan", wfd::encodeFuzzPlan(v.shrunken.plan));
+      std::printf("%s\n", line.dump().c_str());
+
+      if (!corpusDir.empty()) {
+        const std::string name = std::string(wfd::algoStackName(stack)) + "-" +
+                                 wfd::fuzzOracleName(oracle) + "-seed" +
+                                 std::to_string(seed) + "-run" +
+                                 std::to_string(v.runIndex);
+        const std::string foundBy =
+            std::string("wfd_explore --stack ") + wfd::algoStackName(stack) +
+            " --oracle " + wfd::fuzzOracleName(oracle) + " --seed " +
+            std::to_string(seed) + " --runs " + std::to_string(runs);
+        const wfd::CorpusEntry entry = wfd::makeCorpusEntry(
+            name, foundBy, v.shrunken.plan, oracle, &v.shrunken.result);
+        const std::string path = corpusDir + "/" + name + ".json";
+        if (wfd::saveCorpusFile(path, entry)) {
+          ++corpusSaved;
+          std::fprintf(stderr, "saved corpus entry %s\n", path.c_str());
+        } else {
+          std::fprintf(stderr, "FAILED to save corpus entry %s\n",
+                       path.c_str());
+        }
+      }
+    }
+
+    wfd::Json summary = wfd::Json::object();
+    summary.set("summary", wfd::Json::str(wfd::algoStackName(stack)));
+    summary.set("oracle", wfd::Json::str(wfd::fuzzOracleName(oracle)));
+    summary.set("seed", wfd::Json::number(seed));
+    summary.set("runs_executed", wfd::Json::number(report.runsExecuted));
+    summary.set("violations",
+                wfd::Json::number(report.violations.size()));
+    std::printf("%s\n", summary.dump().c_str());
+    std::fflush(stdout);
+  }
+
+  if (!corpusDir.empty()) {
+    std::fprintf(stderr, "corpus entries saved: %llu\n",
+                 static_cast<unsigned long long>(corpusSaved));
+  }
+  return totalViolations == 0 ? 0 : 1;
+}
