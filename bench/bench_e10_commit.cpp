@@ -45,12 +45,12 @@ Result run(std::size_t n, Time tauOmega, std::size_t crashes, Time crashAt,
                          : Environments::staggeredCrashes(n, crashes, crashAt, 50);
   auto cluster = makeScenarioCluster("commit-stable-majority", cfg, fp,
                                      tauOmega, OmegaPreStabilization::kRotating);
-  Simulator& sim = *cluster.sim;
+  Simulator& sim = cluster.sim();
   BroadcastWorkload w;
   w.start = crashes > 0 && crashAt < 2000 ? crashAt + 800 : 150;
   w.perProcess = 6;
-  auto log = scheduleBroadcastWorkload(sim, w);
-  sim.run();
+  cluster.scheduleWorkload(w);
+  cluster.runToHorizon();
   const auto commit = checkCommitSafety(sim.trace(), fp);
   Result r;
   r.indications = commit.indications;

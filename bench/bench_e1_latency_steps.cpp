@@ -41,25 +41,21 @@ double medianHops(std::size_t n, std::uint64_t seed, MakeCluster make) {
   auto cfg = latencyConfig(n, seed);
   auto fp = FailurePattern::noFailures(n);
   auto cluster = make(cfg, fp);
-  Simulator& sim = *cluster.sim;
+  Simulator& sim = cluster.sim();
   // Broadcast from the highest-id process (never the leader, p0) after
   // warmup (TOB needs its prepare phase done; ETOB needs nothing).
   const Time at = 3 * kDelta + 7;
-  AppMsg m;
-  m.id = makeMsgId(n - 1, 0);
-  m.origin = n - 1;
-  m.body = {1};
-  sim.scheduleInput(n - 1, at, Payload::of(BroadcastInput{m}));
-  sim.runUntil([&](const Simulator& s) {
+  const MsgId id = cluster.client(n - 1).submitAt(at, {1});
+  cluster.runUntil([&](const Simulator& s) {
     for (ProcessId p = 0; p < n; ++p) {
       const auto& d = s.trace().currentDelivered(p);
-      if (std::find(d.begin(), d.end(), m.id) == d.end()) return false;
+      if (std::find(d.begin(), d.end(), id) == d.end()) return false;
     }
     return s.now() > at + 5 * kDelta;  // settle, catch revocations
   });
   std::vector<double> hops;
   for (ProcessId p = 0; p < n; ++p) {
-    auto stats = sim.trace().deliveryStats(p, m.id);
+    auto stats = sim.trace().deliveryStats(p, id);
     if (!stats.has_value() || !stats->presentNow) continue;
     hops.push_back(
         static_cast<double>(stats->lastChange - at + kDelta / 2) / kDelta);

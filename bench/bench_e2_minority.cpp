@@ -40,13 +40,14 @@ Outcome run(std::uint64_t seed, MakeCluster make) {
   auto cfg = e2Config(seed);
   auto fp = Environments::majorityCrash(5, 2000);  // 3 of 5 crash
   auto cluster = make(cfg, fp);
-  Simulator& sim = *cluster.sim;
+  Simulator& sim = cluster.sim();
   BroadcastWorkload w;
   w.start = 3000;  // after the majority is gone
   w.interval = 50;
   w.perProcess = 10;
-  auto log = scheduleBroadcastWorkload(sim, w);
-  sim.run();
+  cluster.scheduleWorkload(w);
+  const BroadcastLog& log = cluster.log();
+  cluster.runToHorizon();
   Outcome out;
   out.broadcast = log.size();
   std::size_t minDelivered = SIZE_MAX;

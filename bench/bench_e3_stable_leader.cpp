@@ -35,13 +35,14 @@ Result run(Time tauOmega, std::uint64_t seed) {
       makeEtobCluster(cfg, fp, tauOmega,
                       tauOmega == 0 ? OmegaPreStabilization::kStable
                                     : OmegaPreStabilization::kSplitBrain);
-  Simulator& sim = *cluster.sim;
+  Simulator& sim = cluster.sim();
   BroadcastWorkload w;
   w.start = 100;
   w.interval = 50;
   w.perProcess = 10;
-  auto log = scheduleBroadcastWorkload(sim, w);
-  sim.runUntil([&](const Simulator& s) {
+  cluster.scheduleWorkload(w);
+  const BroadcastLog& log = cluster.log();
+  cluster.runUntil([&](const Simulator& s) {
     return s.now() > tauOmega + 2000 && broadcastConverged(s, log);
   });
   const auto report = checkBroadcastRun(sim.trace(), log, fp);

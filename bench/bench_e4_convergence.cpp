@@ -35,13 +35,14 @@ Result run(Time tauOmega, Time deltaT, std::uint64_t seed) {
   auto fp = FailurePattern::noFailures(3);
   auto cluster =
       makeEtobCluster(cfg, fp, tauOmega, OmegaPreStabilization::kSplitBrain);
-  Simulator& sim = *cluster.sim;
+  Simulator& sim = cluster.sim();
   BroadcastWorkload w;
   w.start = 100;
   w.interval = 60;
   w.perProcess = 12;
-  auto log = scheduleBroadcastWorkload(sim, w);
-  sim.runUntil([&](const Simulator& s) {
+  cluster.scheduleWorkload(w);
+  const BroadcastLog& log = cluster.log();
+  cluster.runUntil([&](const Simulator& s) {
     return s.now() > tauOmega + 10 * (deltaT + kDeltaC) &&
            broadcastConverged(s, log);
   });

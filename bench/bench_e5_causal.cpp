@@ -48,24 +48,22 @@ constexpr std::size_t kPerProcess = 8;
 /// earlier AT ANOTHER REPLICA — i.e. the dependency has NOT traversed the
 /// network when the dependent is broadcast (a client that read at one
 /// replica and writes at the next). The paper's C(m) covers this: the
-/// client supplies the context; Algorithm 5 must buffer accordingly.
+/// client supplies the context C(m) through Client::submitAt; Algorithm 5
+/// must buffer accordingly. The facade allocates makeMsgId(p, i) ids, so
+/// cross-client dependencies are predictable.
 template <typename MakeBody>
-BroadcastLog scheduleClientSessionWorkload(Simulator& sim, MakeBody makeBody) {
-  BroadcastLog log;
+void scheduleClientSessionWorkload(Cluster& cluster, MakeBody makeBody) {
   for (ProcessId p = 0; p < 4; ++p) {
+    Client client = cluster.client(p);
     for (std::size_t i = 0; i < kPerProcess; ++i) {
       const Time at = kStart + kInterval * i + kClientStagger * p;
-      AppMsg m;
-      m.id = makeMsgId(p, static_cast<std::uint32_t>(i));
-      m.origin = p;
-      m.body = makeBody(m.id, i);
-      if (i > 0) m.causalDeps.push_back(makeMsgId(p, i - 1));
-      if (p > 0) m.causalDeps.push_back(makeMsgId(p - 1, i));
-      log.record(m, at);
-      sim.scheduleInput(p, at, Payload::of(BroadcastInput{std::move(m)}));
+      std::vector<MsgId> deps;
+      if (i > 0) deps.push_back(makeMsgId(p, static_cast<std::uint32_t>(i - 1)));
+      if (p > 0) deps.push_back(makeMsgId(p - 1, static_cast<std::uint32_t>(i)));
+      client.submitAt(at, makeBody(makeMsgId(p, static_cast<std::uint32_t>(i)), i),
+                      std::move(deps));
     }
   }
-  return log;
 }
 
 Result etobRun(std::uint64_t seed) {
@@ -73,10 +71,11 @@ Result etobRun(std::uint64_t seed) {
   auto fp = FailurePattern::noFailures(4);
   auto cluster =
       makeEtobCluster(cfg, fp, 4000, OmegaPreStabilization::kSplitBrain);
-  Simulator& sim = *cluster.sim;
-  auto log = scheduleClientSessionWorkload(
-      sim, [](MsgId, std::size_t i) { return Command{i}; });
-  sim.runUntil([&](const Simulator& s) {
+  Simulator& sim = cluster.sim();
+  scheduleClientSessionWorkload(
+      cluster, [](MsgId, std::size_t i) { return Command{i}; });
+  const BroadcastLog& log = cluster.log();
+  cluster.runUntil([&](const Simulator& s) {
     return s.now() > 6000 && broadcastConverged(s, log);
   });
   const auto report = checkBroadcastRun(sim.trace(), log, fp);
@@ -97,12 +96,13 @@ Result gossipRun(std::uint64_t seed) {
   auto cluster =
       makeScenarioCluster("gossip-lww-convergence", cfg, fp, 0,
                           OmegaPreStabilization::kStable);
-  Simulator& sim = *cluster.sim;
+  Simulator& sim = cluster.sim();
   // Same client-session workload; bodies are LWW puts with per-message
   // keys so nothing is shadowed and every update is applied somewhere.
-  auto log = scheduleClientSessionWorkload(
-      sim, [](MsgId id, std::size_t i) { return makePut(id, i); });
-  sim.run();
+  scheduleClientSessionWorkload(
+      cluster, [](MsgId id, std::size_t i) { return makePut(id, i); });
+  const BroadcastLog& log = cluster.log();
+  cluster.runToHorizon();
   // Apply order per process from GossipApplied outputs; an inversion is a
   // declared dependency applied AFTER its dependent (or never).
   Result r;

@@ -41,14 +41,15 @@ Result run(std::size_t n, std::uint64_t seed, Time tauOmega, MakeCluster make) {
   auto cfg = e8Config(n, seed);
   auto fp = FailurePattern::noFailures(n);
   auto cluster = make(cfg, fp, tauOmega);
-  Simulator& sim = *cluster.sim;
+  Simulator& sim = cluster.sim();
   BroadcastWorkload w;
   w.start = 200;
   w.interval = 30;
   w.perProcess = 25;
-  auto log = scheduleBroadcastWorkload(sim, w);
+  cluster.scheduleWorkload(w);
+  const BroadcastLog& log = cluster.log();
   Result r;
-  const bool done = sim.runUntil(
+  const bool done = cluster.runUntil(
       [&](const Simulator& s) { return broadcastConverged(s, log); });
   r.fullDeliveryAt = done ? sim.now() : cfg.maxTime;
   const auto& d = sim.trace().currentDelivered(0);

@@ -1,11 +1,13 @@
 // Shared helpers for the experiment benches: table printing and the
-// scenario-backed cluster builders used across E1..E11.
+// facade-backed cluster builders used across E1..E11.
 //
-// Benches no longer hand-roll simulator setup: each builder copies a
-// named catalog entry (src/scenario/catalog.cpp) and applies the bench's
-// swept knobs (config, pattern, tau_Omega, pre-stabilization mode) — the
-// "scenario variant" idiom documented in docs/SCENARIOS.md. The bench
-// schedules its own workload, so the variant's catalog workload is
+// Benches no longer hand-roll simulator setup: each builder lowers a
+// named catalog entry (src/scenario/catalog.cpp) to a ClusterSpec and
+// applies the bench's swept knobs (config, pattern, tau_Omega,
+// pre-stabilization mode) — the "scenario variant" idiom documented in
+// docs/SCENARIOS.md, now expressed through the wfd::Cluster facade
+// (docs/API.md). The bench schedules its own workload through
+// Cluster::scheduleWorkload, so the variant's catalog workload is
 // cleared.
 #pragma once
 
@@ -15,9 +17,9 @@
 #include <utility>
 #include <vector>
 
+#include "api/cluster.h"
 #include "common/ensure.h"
 #include "scenario/scenario.h"
-#include "sim/simulator.h"
 
 namespace wfd::bench {
 
@@ -56,43 +58,39 @@ inline std::string fmt(double v, int precision = 2) {
   return buf;
 }
 
-/// Copy of catalog entry `base` with the bench's knobs applied,
-/// instantiated for cfg.seed. The variant keeps the entry's stack and
-/// detector shape but pins the bench's exact config, pattern and Omega
-/// parameters, uses the uniform network from the config, and schedules
-/// no catalog workload (benches drive their own).
-inline ScenarioInstance makeScenarioCluster(const std::string& base,
-                                            SimConfig cfg, FailurePattern fp,
-                                            Time tauOmega,
-                                            OmegaPreStabilization mode) {
+/// Cluster for a variant of catalog entry `base` with the bench's knobs
+/// applied, seeded with cfg.seed. The variant keeps the entry's stack
+/// but pins the bench's exact config, pattern and Omega parameters,
+/// uses the uniform network from the config, and schedules no catalog
+/// workload (benches drive their own via Cluster::scheduleWorkload).
+inline Cluster makeScenarioCluster(const std::string& base, SimConfig cfg,
+                                   FailurePattern fp, Time tauOmega,
+                                   OmegaPreStabilization mode) {
   const Scenario* found = findScenario(base);
   WFD_ENSURE_MSG(found != nullptr, "unknown catalog scenario");
-  Scenario s = *found;
-  s.config = cfg;
-  s.pattern = [fp = std::move(fp)](std::size_t) { return fp; };
-  s.tauOmega = tauOmega;
-  s.omegaMode = mode;
+  ClusterSpec spec = clusterSpec(*found, cfg);
+  spec.pattern = [fp = std::move(fp)](std::size_t) { return fp; };
+  spec.tauOmega = tauOmega;
+  spec.omegaMode = mode;
   // A custom detector factory on the base entry would silently win over
-  // the tauOmega/mode arguments (instantiateScenario only consults them
-  // when detector is null) — clear it so the bench's knobs always apply.
-  s.detector = nullptr;
-  s.network = nullptr;        // uniform delay from the bench's config
-  s.workload.perProcess = 0;  // the bench schedules its own workload
-  return instantiateScenario(s, cfg.seed);
+  // the tauOmega/mode arguments (the cluster only consults them when
+  // detector is null) — clear it so the bench's knobs always apply.
+  spec.detector = nullptr;
+  spec.network = nullptr;        // uniform delay from the bench's config
+  spec.workload.perProcess = 0;  // the bench schedules its own workload
+  return Cluster(std::move(spec), cfg.seed);
 }
 
 /// ETOB cluster (Algorithm 5): variant of the "split-brain-heal" entry.
-inline ScenarioInstance makeEtobCluster(SimConfig cfg, FailurePattern fp,
-                                        Time tauOmega,
-                                        OmegaPreStabilization mode) {
+inline Cluster makeEtobCluster(SimConfig cfg, FailurePattern fp, Time tauOmega,
+                               OmegaPreStabilization mode) {
   return makeScenarioCluster("split-brain-heal", cfg, std::move(fp), tauOmega,
                              mode);
 }
 
 /// TOB-via-consensus cluster: variant of the "tob-baseline-stable" entry.
-inline ScenarioInstance makeTobCluster(SimConfig cfg, FailurePattern fp,
-                                       Time tauOmega,
-                                       OmegaPreStabilization mode) {
+inline Cluster makeTobCluster(SimConfig cfg, FailurePattern fp, Time tauOmega,
+                              OmegaPreStabilization mode) {
   return makeScenarioCluster("tob-baseline-stable", cfg, std::move(fp),
                              tauOmega, mode);
 }

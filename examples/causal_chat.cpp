@@ -2,21 +2,20 @@
 // even while the leader election is split-brain (paper §5, property (3):
 // TOB-Causal-Order costs no extra failure-detector power).
 //
-// Four users chat through an ETOB-replicated room. Every reply declares
-// its parent in C(m) — including the "client session" case where a user
-// read the parent at one replica and replies through another replica that
-// has not received the parent yet (Algorithm 5's causality graph buffers
-// the reply until the parent arrives).
+// Four users chat through an ETOB-replicated room, each through the
+// facade Client of "their" replica. Every reply declares its parent in
+// C(m) — including the "client session" case where a user read the
+// parent at one replica and replies through another replica that has not
+// received the parent yet (Algorithm 5's causality graph buffers the
+// reply until the parent arrives).
 #include <cstdio>
 #include <limits>
 #include <map>
-#include <memory>
 #include <string>
 
+#include "api/cluster.h"
 #include "checkers/tob_checker.h"
-#include "etob/etob_automaton.h"
-#include "fd/detectors.h"
-#include "sim/simulator.h"
+#include "common/ensure.h"
 
 using namespace wfd;
 
@@ -34,26 +33,24 @@ struct ChatLine {
 }  // namespace
 
 int main() {
-  SimConfig cfg;
-  cfg.processCount = 4;
-  cfg.seed = 11;
-  cfg.maxTime = 20000;
-  cfg.timeoutPeriod = 10;
-  cfg.minDelay = 20;
-  cfg.maxDelay = 40;
-
   // Split-brain the whole conversation; stabilize only at t=5000.
-  auto fp = FailurePattern::noFailures(4);
-  auto omega =
-      std::make_shared<OmegaFd>(fp, 5000, OmegaPreStabilization::kSplitBrain);
-  Simulator sim(cfg, fp, omega);
-  for (ProcessId p = 0; p < 4; ++p) {
-    sim.addProcess(p, std::make_unique<EtobAutomaton>());
-  }
+  ClusterSpec spec;
+  spec.stack = AlgoStack::kEtob;
+  spec.config.processCount = 4;
+  spec.config.maxTime = 20000;
+  spec.config.timeoutPeriod = 10;
+  spec.config.minDelay = 20;
+  spec.config.maxDelay = 40;
+  spec.tauOmega = 5000;
+  spec.omegaMode = OmegaPreStabilization::kSplitBrain;
+  spec.workload.perProcess = 0;  // the chat lines below are the workload
+  Cluster cluster(spec, /*seed=*/11);
 
   // The conversation: replies follow their parents by a few ticks only —
   // much less than a link delay, so the replying replica usually has NOT
-  // yet received the parent when the reply is broadcast.
+  // yet received the parent when the reply is broadcast. The facade
+  // allocates ids as (author, per-author sequence), which is exactly the
+  // scheme the table below references.
   std::vector<ChatLine> lines = {
       {0, "anyone up for lunch?", makeMsgId(0, 0), kNoReply},
       {1, "yes! where?", makeMsgId(1, 0), makeMsgId(0, 0)},
@@ -62,20 +59,17 @@ int main() {
       {0, "12:30 then", makeMsgId(0, 1), makeMsgId(2, 0)},
       {1, "see you there", makeMsgId(1, 1), makeMsgId(0, 1)},
   };
-  BroadcastLog log;
   Time at = 200;
   for (const ChatLine& line : lines) {
-    AppMsg m;
-    m.id = line.id;
-    m.origin = line.author;
-    m.body = {line.id};
-    if (line.replyTo != kNoReply) m.causalDeps.push_back(line.replyTo);
-    log.record(m, at);
-    sim.scheduleInput(line.author, at, Payload::of(BroadcastInput{std::move(m)}));
+    std::vector<MsgId> deps;
+    if (line.replyTo != kNoReply) deps.push_back(line.replyTo);
+    const MsgId id =
+        cluster.client(line.author).submitAt(at, {line.id}, std::move(deps));
+    WFD_ENSURE_MSG(id == line.id, "facade id allocation matches the table");
     at += 5;  // replies fired 5 ticks apart — far below the 20..40 delays
   }
 
-  sim.runUntil([&](const Simulator& s) {
+  cluster.runUntil([&](const Simulator& s) {
     for (ProcessId p = 0; p < 4; ++p) {
       if (s.trace().currentDelivered(p).size() != lines.size()) return false;
     }
@@ -88,20 +82,21 @@ int main() {
   std::printf("== Causal chat over ETOB (split-brain Omega until t=5000) ==\n");
   for (ProcessId p = 0; p < 4; ++p) {
     std::printf("\nroom as replica p%zu sees it:\n", p);
-    for (MsgId id : sim.trace().currentDelivered(p)) {
+    for (MsgId id : cluster.client(p).delivered()) {
       const ChatLine* line = byId.at(id);
       std::printf("  <user%zu> %s\n", line->author, line->text.c_str());
     }
   }
 
-  const auto report = checkBroadcastRun(sim.trace(), log, fp);
+  const auto report = checkBroadcastRun(cluster.sim().trace(), cluster.log(),
+                                        cluster.pattern());
   std::printf("\ncausal order held in every snapshot at every replica: %s\n",
               report.causalOrderOk ? "YES" : "NO");
   std::printf("(checked over %zu recorded delivery-sequence versions)\n",
               [&] {
                 std::size_t n = 0;
                 for (ProcessId p = 0; p < 4; ++p) {
-                  n += sim.trace().deliverySnapshots(p).size();
+                  n += cluster.sim().trace().deliverySnapshots(p).size();
                 }
                 return n;
               }());

@@ -7,31 +7,19 @@
 // stimuli, tag vertices with k-valencies, locate a bivalent vertex and a
 // decision gadget — and output its deciding process as their Omega
 // estimate. The example prints every estimate change and the final DAG.
+//
+// The extractor is not one of the five stock stacks, so this also shows
+// the facade's escape hatch: ClusterSpec::automaton installs any custom
+// automaton while the Cluster keeps owning stepping and observation.
 #include <cstdio>
 #include <memory>
 
+#include "api/cluster.h"
 #include "cht/extractor.h"
-#include "fd/detectors.h"
-#include "sim/simulator.h"
 
 using namespace wfd;
 
 int main() {
-  SimConfig cfg;
-  cfg.processCount = 2;
-  cfg.seed = 3;
-  cfg.maxTime = 15000;
-  cfg.timeoutPeriod = 10;
-  cfg.minDelay = 5;
-  cfg.maxDelay = 15;
-
-  // D: an Omega history that is WRONG for a while — both processes trust
-  // themselves until t=80 (split brain), then agree on p0. Any D solving
-  // EC works; see also suspectBasedEcTarget() for ◊P-style histories.
-  auto fp = FailurePattern::noFailures(2);
-  auto detector =
-      std::make_shared<OmegaFd>(fp, 80, OmegaPreStabilization::kSplitBrain);
-
   ChtConfig chtCfg;
   chtCfg.limits.maxInstance = 4;
   chtCfg.limits.probeSteps = 150;
@@ -39,25 +27,39 @@ int main() {
   chtCfg.maxOwnSamples = 16;
   chtCfg.extractEvery = 24;
 
-  Simulator sim(cfg, fp, detector);
-  for (ProcessId p = 0; p < 2; ++p) {
-    sim.addProcess(p, std::make_unique<ChtExtractorAutomaton>(omegaEcTarget(), 2,
-                                                              chtCfg));
-  }
-  sim.run();
+  ClusterSpec spec;
+  spec.config.processCount = 2;
+  spec.config.maxTime = 15000;
+  spec.config.timeoutPeriod = 10;
+  spec.config.minDelay = 5;
+  spec.config.maxDelay = 15;
+  // D: an Omega history that is WRONG for a while — both processes trust
+  // themselves until t=80 (split brain), then agree on p0. Any D solving
+  // EC works; see also suspectBasedEcTarget() for ◊P-style histories.
+  spec.detector = [](const FailurePattern& fp) {
+    return std::make_shared<OmegaFd>(fp, 80, OmegaPreStabilization::kSplitBrain);
+  };
+  spec.automaton = [chtCfg](const SimConfig&, ProcessId) {
+    return std::make_unique<ChtExtractorAutomaton>(omegaEcTarget(), 2, chtCfg);
+  };
+  spec.workload.perProcess = 0;  // the extractor drives itself — no inputs
+
+  Cluster cluster(spec, /*seed=*/3);
+  cluster.runToHorizon();
 
   std::printf("== CHT reduction: emulating Omega from D (unstable until "
               "t=80) ==\n\n");
   for (ProcessId p = 0; p < 2; ++p) {
     std::printf("p%zu leader-estimate history:\n", p);
     std::printf("  t=0: p%zu (initially every process elects itself)\n", p);
-    for (const auto& ev : sim.trace().outputs(p)) {
+    for (const auto& ev : cluster.sim().trace().outputs(p)) {
       if (const auto* est = ev.value.as<LeaderEstimate>()) {
         std::printf("  t=%llu: p%zu\n", static_cast<unsigned long long>(ev.time),
                     est->leader);
       }
     }
-    const auto& ex = static_cast<const ChtExtractorAutomaton&>(sim.automaton(p));
+    const auto& ex = static_cast<const ChtExtractorAutomaton&>(
+        cluster.client(p).automaton());
     std::printf("  final: p%zu after %llu extractions over a DAG with %zu "
                 "vertices / %zu edges\n\n",
                 ex.currentEstimate(),
@@ -65,10 +67,12 @@ int main() {
                 ex.dag().vertexCount(), ex.dag().edgeCount());
   }
 
-  const auto& a = static_cast<const ChtExtractorAutomaton&>(sim.automaton(0));
-  const auto& b = static_cast<const ChtExtractorAutomaton&>(sim.automaton(1));
+  const auto& a =
+      static_cast<const ChtExtractorAutomaton&>(cluster.client(0).automaton());
+  const auto& b =
+      static_cast<const ChtExtractorAutomaton&>(cluster.client(1).automaton());
   const bool converged = a.currentEstimate() == b.currentEstimate() &&
-                         fp.correct(a.currentEstimate());
+                         cluster.pattern().correct(a.currentEstimate());
   std::printf("both processes stabilized on the same correct leader: %s\n",
               converged ? "YES — Omega emulated" : "NO");
   std::printf("their DAGs converged to the same limit DAG: %s\n",

@@ -4,18 +4,17 @@
 // split-brain mode and stabilizes at t=1500. Three processes broadcast
 // messages; the example prints each process's delivery sequence d_i as it
 // evolves, then verifies the full ETOB specification with the checkers.
+// Everything goes through the wfd::service facade (docs/API.md): one
+// ClusterSpec describes the deployment, Cluster runs it incrementally,
+// Clients observe the delivery sequences.
 //
 // Build & run:  cmake -B build -G Ninja && cmake --build build
 //               ./build/examples/quickstart
 #include <cstdio>
-#include <memory>
 
+#include "api/cluster.h"
 #include "checkers/tob_checker.h"
-#include "checkers/workload.h"
 #include "common/strings.h"
-#include "etob/etob_automaton.h"
-#include "fd/detectors.h"
-#include "sim/simulator.h"
 
 using namespace wfd;
 
@@ -26,11 +25,12 @@ std::string shortId(MsgId id) {
          std::to_string(msgIdSeq(id));
 }
 
-void printDeliveries(const Simulator& sim, const char* label) {
-  std::printf("%s (t=%llu)\n", label, static_cast<unsigned long long>(sim.now()));
-  for (ProcessId p = 0; p < sim.config().processCount; ++p) {
+void printDeliveries(Cluster& cluster, const char* label) {
+  std::printf("%s (t=%llu)\n", label,
+              static_cast<unsigned long long>(cluster.now()));
+  for (ProcessId p = 0; p < cluster.processCount(); ++p) {
     std::vector<std::string> ids;
-    for (MsgId id : sim.trace().currentDelivered(p)) ids.push_back(shortId(id));
+    for (MsgId id : cluster.client(p).delivered()) ids.push_back(shortId(id));
     std::printf("  d_%zu = [%s]\n", p, join(ids, ", ").c_str());
   }
 }
@@ -38,49 +38,43 @@ void printDeliveries(const Simulator& sim, const char* label) {
 }  // namespace
 
 int main() {
-  // 1. Configure the simulated asynchronous system (the paper's model).
-  SimConfig cfg;
-  cfg.processCount = 3;
-  cfg.seed = 42;
-  cfg.maxTime = 20000;
-  cfg.timeoutPeriod = 10;  // Δ_t: λ-step period ("local timeout")
-  cfg.minDelay = 20;       // link delays in [20, 40] — Δ_c = 40
-  cfg.maxDelay = 40;
-
-  // 2. An Omega detector: split-brain until t=1500 (processes disagree on
-  //    the leader — a partition period), then stable forever.
+  // 1. Describe the deployment: the simulated asynchronous system (the
+  //    paper's model), an Omega detector that is split-brain until
+  //    t=1500 (processes disagree on the leader — a partition period),
+  //    one ET OB automaton (Algorithm 5) per process, and a broadcast
+  //    workload of 4 messages per process.
   const Time tauOmega = 1500;
-  auto fp = FailurePattern::noFailures(cfg.processCount);
-  auto omega = std::make_shared<OmegaFd>(fp, tauOmega,
-                                         OmegaPreStabilization::kSplitBrain);
+  ClusterSpec spec;
+  spec.stack = AlgoStack::kEtob;
+  spec.config.processCount = 3;
+  spec.config.maxTime = 20000;
+  spec.config.timeoutPeriod = 10;  // Δ_t: λ-step period ("local timeout")
+  spec.config.minDelay = 20;       // link delays in [20, 40] — Δ_c = 40
+  spec.config.maxDelay = 40;
+  spec.tauOmega = tauOmega;
+  spec.omegaMode = OmegaPreStabilization::kSplitBrain;
+  spec.workload.start = 100;
+  spec.workload.interval = 80;
+  spec.workload.perProcess = 4;
 
-  // 3. One ET OB automaton (Algorithm 5) per process.
-  Simulator sim(cfg, fp, omega);
-  for (ProcessId p = 0; p < cfg.processCount; ++p) {
-    sim.addProcess(p, std::make_unique<EtobAutomaton>());
-  }
-
-  // 4. A broadcast workload: 4 messages per process.
-  BroadcastWorkload workload;
-  workload.start = 100;
-  workload.interval = 80;
-  workload.perProcess = 4;
-  BroadcastLog log = scheduleBroadcastWorkload(sim, workload);
+  // 2. Turn it into a running service.
+  Cluster cluster(spec, /*seed=*/42);
 
   std::printf("== ETOB quickstart: n=3, split-brain Omega until t=%llu ==\n\n",
               static_cast<unsigned long long>(tauOmega));
 
-  // 5. Run to mid-divergence, peek, then run to convergence.
-  sim.runUntil([&](const Simulator& s) { return s.now() >= tauOmega / 2; });
-  printDeliveries(sim, "-- during the partition period (sequences may differ)");
+  // 3. Run to mid-divergence, peek, then run to convergence.
+  cluster.runUntil([&](const Simulator& s) { return s.now() >= tauOmega / 2; });
+  printDeliveries(cluster, "-- during the partition period (sequences may differ)");
 
-  sim.runUntil([&](const Simulator& s) {
-    return s.now() > tauOmega + 200 && broadcastConverged(s, log);
+  cluster.runUntil([&](const Simulator& s) {
+    return s.now() > tauOmega + 200 && broadcastConverged(s, cluster.log());
   });
-  printDeliveries(sim, "\n-- after Omega stabilized (identical, stable, total)");
+  printDeliveries(cluster, "\n-- after Omega stabilized (identical, stable, total)");
 
-  // 6. Verify the ETOB specification over the whole run.
-  const BroadcastCheckReport report = checkBroadcastRun(sim.trace(), log, fp);
+  // 4. Verify the ETOB specification over the whole run.
+  const BroadcastCheckReport report = checkBroadcastRun(
+      cluster.sim().trace(), cluster.log(), cluster.pattern());
   std::printf("\nETOB specification check:\n");
   std::printf("  validity / agreement / no-creation / no-duplication : %s\n",
               report.coreOk() ? "OK" : "FAILED");
@@ -89,7 +83,8 @@ int main() {
   std::printf("  eventual stability + total order from tau_hat = %llu\n",
               static_cast<unsigned long long>(report.tau));
   std::printf("  paper bound tau_Omega + dt + dc                     = %llu\n",
-              static_cast<unsigned long long>(tauOmega + cfg.timeoutPeriod +
-                                              cfg.maxDelay));
+              static_cast<unsigned long long>(tauOmega +
+                                              spec.config.timeoutPeriod +
+                                              spec.config.maxDelay));
   return report.coreOk() && report.causalOrderOk ? 0 : 1;
 }

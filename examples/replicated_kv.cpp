@@ -1,60 +1,64 @@
 // Replicated key-value store under a majority crash — the paper's
 // motivating scenario (Dynamo-style availability, §1/§6).
 //
-// Two clusters replicate the same KvStore:
-//   * eventually consistent — ReplicaAutomaton over ET OB (Algorithm 5),
-//   * strongly consistent   — ReplicaAutomaton over TOB-via-Paxos.
+// Two facade clusters replicate the same KvStore (ClusterSpec::kvReplica):
+//   * eventually consistent — KvStore over ET OB (Algorithm 5),
+//   * strongly consistent   — KvStore over TOB-via-Paxos.
 // At t=2000 three of five processes crash (no correct majority). Writes
-// issued after the crash commit on the eventual cluster and stall forever
-// on the strong one: the quorum detector Sigma is exactly what separates
-// them (Theorem 2 + [8]).
+// issued through the surviving replicas' Clients after the crash commit
+// on the eventual cluster and stall forever on the strong one: the
+// quorum detector Sigma is exactly what separates them (Theorem 2 + [8]).
 #include <cstdio>
-#include <memory>
 
-#include "etob/etob_automaton.h"
-#include "fd/detectors.h"
-#include "rsm/replica.h"
-#include "rsm/state_machines.h"
-#include "sim/simulator.h"
-#include "tob/tob_via_consensus.h"
+#include "api/cluster.h"
 
 using namespace wfd;
 
 namespace {
 
-using EtobReplica = ReplicaAutomaton<EtobAutomaton, KvStore>;
-using TobReplica = ReplicaAutomaton<TobViaConsensusAutomaton, KvStore>;
-
-SimConfig clusterConfig() {
-  SimConfig cfg;
-  cfg.processCount = 5;
-  cfg.seed = 7;
-  cfg.maxTime = 15000;
-  cfg.timeoutPeriod = 10;
-  cfg.minDelay = 20;
-  cfg.maxDelay = 40;
-  return cfg;
+ClusterSpec kvSpec(AlgoStack stack, const FailurePattern& fp) {
+  ClusterSpec spec;
+  spec.stack = stack;
+  spec.kvReplica = true;
+  spec.config.processCount = 5;
+  spec.config.maxTime = 15000;
+  spec.config.timeoutPeriod = 10;
+  spec.config.minDelay = 20;
+  spec.config.maxDelay = 40;
+  spec.pattern = [fp](std::size_t) { return fp; };
+  spec.tauOmega = 2500;
+  spec.omegaMode = OmegaPreStabilization::kSplitBrain;
+  spec.workload.perProcess = 0;  // writes come from the clients below
+  return spec;
 }
 
-void scheduleWrites(Simulator& sim) {
+void scheduleWrites(Cluster& cluster) {
   // Writes from the two survivors, all AFTER the majority crash.
+  Client c0 = cluster.client(0);
+  Client c1 = cluster.client(1);
   for (std::uint64_t i = 0; i < 6; ++i) {
-    sim.scheduleInput(0, 3000 + 100 * i,
-                      Payload::of(ClientCommand{makePut(i, 100 + i)}));
-    sim.scheduleInput(1, 3050 + 100 * i,
-                      Payload::of(ClientCommand{makePut(10 + i, 200 + i)}));
+    c0.putAt(3000 + 100 * i, i, 100 + i);
+    c1.putAt(3050 + 100 * i, 10 + i, 200 + i);
   }
 }
 
-template <typename Replica>
-void report(const Simulator& sim, const char* name) {
+void report(Cluster& cluster, const char* name) {
   std::printf("%s cluster after the run:\n", name);
-  for (ProcessId p : sim.failurePattern().correctSet()) {
-    const auto& kv = static_cast<const Replica&>(sim.automaton(p)).machine();
+  for (ProcessId p : cluster.pattern().correctSet()) {
+    Client client = cluster.client(p);
+    const Client::KvStats kv = client.kvStats();
+    const auto v3 = client.kvGet(3);
     std::printf("  p%zu: %zu keys, %llu commands applied, get(3)=%s\n", p,
-                kv.size(), static_cast<unsigned long long>(kv.appliedCount()),
-                kv.get(3).has_value() ? std::to_string(*kv.get(3)).c_str() : "-");
+                kv.keys, static_cast<unsigned long long>(kv.applied),
+                v3.has_value() ? std::to_string(*v3).c_str() : "-");
   }
+}
+
+void runCluster(AlgoStack stack, const FailurePattern& fp, const char* name) {
+  Cluster cluster(kvSpec(stack, fp), /*seed=*/7);
+  scheduleWrites(cluster);
+  cluster.runToHorizon();
+  report(cluster, name);
 }
 
 }  // namespace
@@ -65,34 +69,10 @@ int main() {
   const FailurePattern fp = Environments::majorityCrash(5, 2000);
 
   // Eventually consistent cluster: Omega is all it needs.
-  {
-    auto cfg = clusterConfig();
-    auto omega =
-        std::make_shared<OmegaFd>(fp, 2500, OmegaPreStabilization::kSplitBrain);
-    Simulator sim(cfg, fp, omega);
-    for (ProcessId p = 0; p < 5; ++p) {
-      sim.addProcess(p, std::make_unique<EtobReplica>(EtobAutomaton{}));
-    }
-    scheduleWrites(sim);
-    sim.run();
-    report<EtobReplica>(sim, "ETOB (eventually consistent)");
-  }
-
+  runCluster(AlgoStack::kEtob, fp, "ETOB (eventually consistent)");
   std::printf("\n");
-
   // Strongly consistent cluster: needs majority quorums (Sigma) — gone.
-  {
-    auto cfg = clusterConfig();
-    auto omega =
-        std::make_shared<OmegaFd>(fp, 2500, OmegaPreStabilization::kSplitBrain);
-    Simulator sim(cfg, fp, omega);
-    for (ProcessId p = 0; p < 5; ++p) {
-      sim.addProcess(p, std::make_unique<TobReplica>(TobViaConsensusAutomaton(p, 5)));
-    }
-    scheduleWrites(sim);
-    sim.run();
-    report<TobReplica>(sim, "TOB/Paxos (strongly consistent)");
-  }
+  runCluster(AlgoStack::kTobViaConsensus, fp, "TOB/Paxos (strongly consistent)");
 
   std::printf("\nThe strong cluster cannot commit a single post-crash write —\n"
               "the exact availability price of Sigma the paper quantifies.\n");

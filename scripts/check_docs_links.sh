@@ -59,7 +59,9 @@ if [ -f "$scenarios_md" ] && [ -n "$scenarios_bin" ] && [ -x "$scenarios_bin" ];
   while IFS= read -r name; do
     [ -n "$name" ] || continue
     documented=$((documented + 1))
-    if ! printf '%s\n' "$registry" | grep -qx "$name"; then
+    # Here-string, not printf|grep: under pipefail, grep -q exiting early
+    # can SIGPIPE the printf and flip the pipeline status nondeterministically.
+    if ! grep -qx -- "$name" <<< "$registry"; then
       echo "BROKEN: $scenarios_md documents scenario '$name' missing from the registry"
       fail=1
     fi
@@ -73,7 +75,7 @@ if [ -f "$scenarios_md" ] && [ -n "$scenarios_bin" ] && [ -x "$scenarios_bin" ];
   # registry -> docs: every catalog entry must be documented.
   while IFS= read -r name; do
     [ -n "$name" ] || continue
-    if ! printf '%s\n' "$documented_names" | grep -qx "$name"; then
+    if ! grep -qx -- "$name" <<< "$documented_names"; then
       echo "BROKEN: registry scenario '$name' is undocumented in $scenarios_md"
       fail=1
     fi

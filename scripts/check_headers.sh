@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Compiles every public header standalone (-Werror): each src/**/*.h must
+# carry its own includes, so the API surface cannot grow hidden include
+# dependencies — a consumer including exactly one facade header (e.g.
+# api/cluster.h) must get a complete translation unit.
+#
+# For every header H a one-line TU `#include "H"` is syntax-checked with
+# the same warnings-as-errors baseline the strict CMake preset uses.
+# bench/bench_util.h is included too (it is the benches' public surface);
+# tests/helpers.h is skipped (it needs gtest on the include path).
+#
+# Usage: scripts/check_headers.sh [compiler]   (default: c++)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo_root"
+
+cxx="${1:-${CXX:-c++}}"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+flags=(-std=c++20 -fsyntax-only -Wall -Wextra -Werror -I src -I bench)
+
+headers="$(git ls-files --cached --others --exclude-standard \
+             'src/*.h' 'src/**/*.h' 'bench/bench_util.h' | sort)"
+test -n "$headers"   # an empty list must fail loudly, not pass green
+
+fail=0
+count=0
+while IFS= read -r header; do
+  rel="${header#src/}"
+  tu="$tmpdir/tu.cpp"
+  if [[ "$header" == src/* ]]; then
+    printf '#include "%s"\n' "$rel" > "$tu"
+  else
+    printf '#include "%s"\n' "$(basename "$header")" > "$tu"
+  fi
+  if ! "$cxx" "${flags[@]}" "$tu" 2> "$tmpdir/err"; then
+    echo "NOT STANDALONE: $header"
+    sed 's/^/    /' "$tmpdir/err" | head -15
+    fail=1
+  fi
+  count=$((count + 1))
+done <<< "$headers"
+
+if [ "$fail" -ne 0 ]; then
+  echo "header check FAILED"
+  exit 1
+fi
+echo "header check OK ($count headers compile standalone under -Werror)"

@@ -383,4 +383,10 @@ std::optional<Json> Json::parse(const std::string& text, std::string* error) {
   return Parser(text).run(error);
 }
 
+std::string jsonQuoted(const std::string& s) {
+  std::string out;
+  dumpString(s, out);
+  return out;
+}
+
 }  // namespace wfd

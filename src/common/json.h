@@ -72,4 +72,11 @@ class Json {
   std::map<std::string, Json> fields_;
 };
 
+/// Serializes `s` as one quoted JSON string token, using exactly the
+/// writer's escaping rules (Json::str(s).dump() without building a
+/// value). For emitters that assemble a line with a fixed key ORDER —
+/// dump() sorts keys — but must still escape string contents correctly
+/// (scenario/scenario.cpp's toJsonLine).
+std::string jsonQuoted(const std::string& s);
+
 }  // namespace wfd

@@ -5,6 +5,7 @@
 #include <set>
 #include <utility>
 
+#include "api/cluster.h"
 #include "common/ensure.h"
 #include "common/json.h"
 #include "common/strings.h"
@@ -36,6 +37,9 @@ ScenarioRunResult runFuzzPlan(const FuzzPlan& plan, FuzzOracle oracle) {
   if (oracle == FuzzOracle::kStrictTob && s.checks.broadcast) {
     s.checks.requireStrongTob = true;
   }
+  // Plans lower through the same facade path everything else drives:
+  // runScenario builds one Cluster, batch-steps it to its horizon, and
+  // judges it by the stack's checker set.
   return runScenario(s, plan.simSeed);
 }
 

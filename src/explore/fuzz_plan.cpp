@@ -12,16 +12,6 @@
 
 namespace wfd {
 
-bool parseAlgoStack(const std::string& name, AlgoStack* out) {
-  for (AlgoStack stack : kAllAlgoStacks) {
-    if (name == algoStackName(stack)) {
-      *out = stack;
-      return true;
-    }
-  }
-  return false;
-}
-
 const char* omegaModeName(OmegaPreStabilization mode) {
   switch (mode) {
     case OmegaPreStabilization::kStable:

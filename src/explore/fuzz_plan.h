@@ -108,9 +108,8 @@ struct FuzzPlan {
   Time maxTime = 0;
 };
 
-/// Parses/prints the AlgoStack names used in plans and on the CLI
-/// (same strings as algoStackName). Returns false on unknown name.
-bool parseAlgoStack(const std::string& name, AlgoStack* out);
+// AlgoStack names are parsed/printed by algoStackName/parseAlgoStack
+// (api/capabilities.h — plans, scenarios and both CLIs share them).
 
 const char* omegaModeName(OmegaPreStabilization mode);
 bool parseOmegaMode(const std::string& name, OmegaPreStabilization* out);

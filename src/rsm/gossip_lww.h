@@ -50,6 +50,8 @@ class GossipLwwStore final : public CloneableAutomaton<GossipLwwStore> {
 
   const std::map<std::uint64_t, Entry>& table() const { return table_; }
   bool sameTable(const GossipLwwStore& other) const { return table_ == other.table_; }
+  /// Distinct updates this replica has applied (locally or via gossip).
+  std::uint64_t appliedCount() const { return seen_.size(); }
 
  private:
   void adopt(std::uint64_t key, const Entry& entry, Effects& fx);

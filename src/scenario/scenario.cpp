@@ -1,115 +1,65 @@
 #include "scenario/scenario.h"
 
-#include <cstdio>
 #include <utility>
 
 #include "checkers/commit_checker.h"
 #include "checkers/ec_checker.h"
 #include "checkers/tob_checker.h"
 #include "common/ensure.h"
+#include "common/json.h"
 #include "common/strings.h"
-#include "ec/ec_driver.h"
-#include "ec/omega_ec.h"
-#include "etob/commit_etob.h"
-#include "etob/etob_automaton.h"
 #include "rsm/gossip_lww.h"
 #include "scenario/trace_digest.h"
-#include "tob/tob_via_consensus.h"
 
 namespace wfd {
 
-const char* algoStackName(AlgoStack stack) {
-  switch (stack) {
-    case AlgoStack::kEtob:
-      return "etob";
-    case AlgoStack::kCommitEtob:
-      return "commit-etob";
-    case AlgoStack::kTobViaConsensus:
-      return "tob-via-consensus";
-    case AlgoStack::kGossipLww:
-      return "gossip-lww";
-    case AlgoStack::kOmegaEc:
-      return "omega-ec";
-  }
-  return "?";
+ClusterSpec clusterSpec(const Scenario& s, const SimConfig& overrides) {
+  ClusterSpec spec;
+  spec.stack = s.stack;
+  spec.config = overrides;
+  spec.pattern = s.pattern;
+  spec.network = s.network;
+  spec.detector = s.detector;
+  spec.tauOmega = s.tauOmega;
+  spec.omegaMode = s.omegaMode;
+  spec.workload = s.workload;
+  spec.ecInstances = s.ecInstances;
+  return spec;
 }
 
-namespace {
-
-std::unique_ptr<Automaton> makeStackAutomaton(const Scenario& s,
-                                              const SimConfig& cfg,
-                                              ProcessId p) {
-  switch (s.stack) {
-    case AlgoStack::kEtob:
-      return std::make_unique<EtobAutomaton>();
-    case AlgoStack::kCommitEtob:
-      return std::make_unique<CommitEtobAutomaton>();
-    case AlgoStack::kTobViaConsensus:
-      return std::make_unique<TobViaConsensusAutomaton>(p, cfg.processCount);
-    case AlgoStack::kGossipLww:
-      return std::make_unique<GossipLwwStore>();
-    case AlgoStack::kOmegaEc:
-      // Salt the proposal stream with the seed so different seeds exercise
-      // different proposal histories, deterministically.
-      return std::make_unique<EcDriverAutomaton<OmegaEcAutomaton>>(
-          OmegaEcAutomaton{}, binaryProposals(cfg.seed), s.ecInstances);
-  }
-  WFD_ENSURE_MSG(false, "unknown algorithm stack");
-  return nullptr;
-}
-
-}  // namespace
+ClusterSpec clusterSpec(const Scenario& s) { return clusterSpec(s, s.config); }
 
 ScenarioInstance instantiateScenario(const Scenario& s, std::uint64_t seed,
                                      const SimConfig& overrides) {
-  SimConfig cfg = overrides;
-  cfg.seed = seed;
-  FailurePattern fp = s.pattern ? s.pattern(cfg.processCount)
-                                : FailurePattern::noFailures(cfg.processCount);
-  WFD_ENSURE_MSG(fp.size() == cfg.processCount,
-                 "scenario pattern size != processCount");
-  std::shared_ptr<const FailureDetector> detector =
-      s.detector ? s.detector(fp)
-                 : std::make_shared<OmegaFd>(fp, s.tauOmega, s.omegaMode);
-  std::shared_ptr<const NetworkModel> network =
-      s.network ? s.network(cfg) : nullptr;
-  auto sim = std::make_unique<Simulator>(cfg, fp, std::move(detector),
-                                         std::move(network));
-  for (ProcessId p = 0; p < cfg.processCount; ++p) {
-    sim->addProcess(p, makeStackAutomaton(s, cfg, p));
-  }
-  BroadcastLog log;
-  if (s.stack != AlgoStack::kOmegaEc) {
-    log = scheduleBroadcastWorkload(*sim, s.workload);
-  }
-  return ScenarioInstance(std::move(sim), std::move(log));
+  return ScenarioInstance(
+      std::make_unique<Cluster>(clusterSpec(s, overrides), seed));
 }
 
 ScenarioInstance instantiateScenario(const Scenario& s, std::uint64_t seed) {
   return instantiateScenario(s, seed, s.config);
 }
 
-ScenarioRunResult runScenario(const Scenario& s, std::uint64_t seed) {
-  ScenarioInstance inst = instantiateScenario(s, seed);
-  inst.sim->run();
-
+ScenarioRunResult evaluateScenarioRun(const Scenario& s, std::uint64_t seed,
+                                      const Cluster& cluster) {
+  const Simulator& sim = cluster.sim();
   ScenarioRunResult r;
   r.scenario = s.name;
   r.seed = seed;
   r.stack = algoStackName(s.stack);
-  r.network = inst.sim->network().name();
-  r.endTime = inst.sim->now();
-  r.eventsProcessed = inst.sim->eventsProcessed();
-  r.messagesSent = inst.sim->trace().messagesSent();
-  r.messagesDelivered = inst.sim->trace().messagesDelivered();
-  r.duplicatesSuppressed = inst.sim->duplicatesSuppressed();
+  r.network = sim.network().name();
+  r.endTime = sim.now();
+  r.eventsProcessed = sim.eventsProcessed();
+  r.messagesSent = sim.trace().messagesSent();
+  r.messagesDelivered = sim.trace().messagesDelivered();
+  r.duplicatesSuppressed = sim.duplicatesSuppressed();
 
-  const Trace& trace = inst.sim->trace();
-  const FailurePattern& fp = inst.sim->failurePattern();
+  const Trace& trace = sim.trace();
+  const BroadcastLog& log = cluster.log();
+  const FailurePattern& fp = sim.failurePattern();
   auto fail = [&r](std::string clause) { r.failures.push_back(std::move(clause)); };
 
   if (s.checks.broadcast || s.checks.requireStrongTob) {
-    const BroadcastCheckReport rep = checkBroadcastRun(trace, inst.log, fp);
+    const BroadcastCheckReport rep = checkBroadcastRun(trace, log, fp);
     if (!rep.validityOk) fail("broadcast: validity");
     if (!rep.agreementOk) fail("broadcast: agreement");
     if (!rep.noCreationOk) fail("broadcast: no-creation");
@@ -120,7 +70,7 @@ ScenarioRunResult runScenario(const Scenario& s, std::uint64_t seed) {
       fail("broadcast: strong-tob (tau-hat=" + std::to_string(rep.tau) + ")");
     }
   }
-  if (s.checks.convergence && !broadcastConverged(*inst.sim, inst.log)) {
+  if (s.checks.convergence && !broadcastConverged(sim, log)) {
     fail("convergence: correct processes did not agree on a complete d_i");
   }
   if (s.checks.commit) {
@@ -157,12 +107,12 @@ ScenarioRunResult runScenario(const Scenario& s, std::uint64_t seed) {
     const auto* reference =
         correct.empty() ? nullptr
                         : dynamic_cast<const GossipLwwStore*>(
-                              &inst.sim->automaton(correct.front()));
+                              &sim.automaton(correct.front()));
     WFD_ENSURE_MSG(reference != nullptr,
                    "gossipConvergence requires the gossip-lww stack");
     for (ProcessId p : correct) {
       const auto* replica =
-          dynamic_cast<const GossipLwwStore*>(&inst.sim->automaton(p));
+          dynamic_cast<const GossipLwwStore*>(&sim.automaton(p));
       if (!replica->sameTable(*reference)) {
         fail("gossip: divergence (replica " + std::to_string(p) + ")");
         break;
@@ -175,24 +125,34 @@ ScenarioRunResult runScenario(const Scenario& s, std::uint64_t seed) {
   return r;
 }
 
+ScenarioRunResult runScenario(const Scenario& s, std::uint64_t seed) {
+  Cluster cluster(clusterSpec(s), seed);
+  cluster.runToHorizon();
+  return evaluateScenarioRun(s, seed, cluster);
+}
+
 std::string toJsonLine(const ScenarioRunResult& r) {
+  // Key order is part of the CLI's documented output (docs/SCENARIOS.md),
+  // so the line is assembled in order with the json.h writer doing the
+  // string escaping — byte-identical to the legacy emission for
+  // escape-free values, valid JSON for everything else.
   std::string out = "{";
-  out += "\"scenario\":\"" + r.scenario + "\"";
+  out += "\"scenario\":" + jsonQuoted(r.scenario);
   out += ",\"seed\":" + std::to_string(r.seed);
   out += ",\"pass\":" + std::string(r.pass ? "true" : "false");
-  out += ",\"stack\":\"" + r.stack + "\"";
-  out += ",\"network\":\"" + r.network + "\"";
+  out += ",\"stack\":" + jsonQuoted(r.stack);
+  out += ",\"network\":" + jsonQuoted(r.network);
   out += ",\"end_time\":" + std::to_string(r.endTime);
   out += ",\"events\":" + std::to_string(r.eventsProcessed);
   out += ",\"messages_sent\":" + std::to_string(r.messagesSent);
   out += ",\"messages_delivered\":" + std::to_string(r.messagesDelivered);
   out += ",\"duplicates_suppressed\":" + std::to_string(r.duplicatesSuppressed);
   out += ",\"tau_hat\":" + std::to_string(r.tauHat);
-  out += ",\"digest\":\"" + hex64(r.digest) + "\"";
+  out += ",\"digest\":" + jsonQuoted(hex64(r.digest));
   out += ",\"failures\":[";
   for (std::size_t i = 0; i < r.failures.size(); ++i) {
     if (i > 0) out += ",";
-    out += "\"" + r.failures[i] + "\"";
+    out += jsonQuoted(r.failures[i]);
   }
   out += "]}";
   return out;

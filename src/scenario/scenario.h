@@ -4,6 +4,12 @@
 // the wfd_scenarios CLI all execute the same catalog instead of
 // hand-rolling simulator setup.
 //
+// Since the api facade landed, a Scenario is a named, checker-annotated
+// ClusterSpec: instantiateScenario/runScenario are thin adapters that
+// lower the entry through clusterSpec() and drive a wfd::Cluster (the
+// golden digest-equivalence suite in tests/test_api.cpp pins that the
+// lowering reproduces the pre-facade instantiation bit-for-bit).
+//
 // A scenario is deterministic modulo its seed: runScenario(s, seed)
 // always produces the same trace digest for the same (scenario, seed)
 // pair, which is what the seed-determinism regression tests pin.
@@ -15,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "api/cluster.h"
 #include "checkers/broadcast_log.h"
 #include "checkers/workload.h"
 #include "fd/detectors.h"
@@ -23,30 +30,6 @@
 #include "sim/simulator.h"
 
 namespace wfd {
-
-/// Which protocol stack the scenario installs on every process.
-enum class AlgoStack {
-  kEtob,             // Algorithm 5 (eTOB directly from Omega)
-  kCommitEtob,       // the §7 committed-prefix extension of Algorithm 5
-  kTobViaConsensus,  // strong TOB baseline over Multi-Paxos
-  kGossipLww,        // Dynamo-style gossip/LWW strawman
-  kOmegaEc,          // Algorithm 4 (EC from Omega) under the proposal driver
-};
-
-/// Every stack, in enum order — THE canonical list. Anything that
-/// enumerates stacks (wfd_explore --stack all, the fuzz sampler's name
-/// parser, bench E11, sweep tests) iterates this, so adding an enum
-/// value above without extending this line is impossible to miss.
-inline constexpr AlgoStack kAllAlgoStacks[] = {
-    AlgoStack::kEtob, AlgoStack::kCommitEtob, AlgoStack::kTobViaConsensus,
-    AlgoStack::kGossipLww, AlgoStack::kOmegaEc};
-// Tripwire: when adding an AlgoStack, extend kAllAlgoStacks AND bump this
-// count (the -Wswitch warnings in algoStackName/makeStackAutomaton catch
-// the switches; this catches the array).
-static_assert(std::size(kAllAlgoStacks) == 5,
-              "kAllAlgoStacks must cover every AlgoStack enumerator");
-
-const char* algoStackName(AlgoStack stack);
 
 /// Which trace verifiers run after the simulation, and which extra
 /// outcome clauses the scenario asserts.
@@ -104,22 +87,34 @@ struct Scenario {
   CheckerSet checks;
 };
 
+/// Lowers the scenario to the facade's deployment description (every
+/// field except name/description/checks, which are evaluation-side).
+/// `overrides` replaces the base SimConfig (keeping pattern/model/stack).
+ClusterSpec clusterSpec(const Scenario& s);
+ClusterSpec clusterSpec(const Scenario& s, const SimConfig& overrides);
+
 /// A scenario instantiated for one seed, ready to run (or to be driven
 /// further by a bench that sweeps a knob on top of the catalog entry).
 /// The failure pattern is reachable via sim->failurePattern().
 struct ScenarioInstance {
-  std::unique_ptr<Simulator> sim;
+  /// The facade cluster driving this run (owns the simulator).
+  std::unique_ptr<Cluster> cluster;
+  /// Borrowed from *cluster — kept so pre-facade call sites
+  /// (inst.sim->run(), *inst.sim) read unchanged.
+  Simulator* sim = nullptr;
   /// Input history of the scheduled broadcast workload; empty for
   /// kOmegaEc (the driver records proposals in the trace instead).
+  /// Snapshot taken at instantiation — later Client submissions land in
+  /// cluster->log(), not here.
   BroadcastLog log;
 
-  ScenarioInstance(std::unique_ptr<Simulator> s, BroadcastLog l)
-      : sim(std::move(s)), log(std::move(l)) {}
+  explicit ScenarioInstance(std::unique_ptr<Cluster> c)
+      : cluster(std::move(c)), sim(&cluster->sim()), log(cluster->log()) {}
 };
 
-/// Builds the simulator + workload for (scenario, seed). `overrides`
-/// lets benches replace the base SimConfig (keeping pattern/model/stack);
-/// the per-run seed is applied on top in both forms.
+/// Builds the cluster + workload for (scenario, seed). Thin adapter over
+/// Cluster(clusterSpec(s), seed); the per-run seed is applied on top in
+/// both forms.
 ScenarioInstance instantiateScenario(const Scenario& s, std::uint64_t seed);
 ScenarioInstance instantiateScenario(const Scenario& s, std::uint64_t seed,
                                      const SimConfig& overrides);
@@ -145,10 +140,17 @@ struct ScenarioRunResult {
   std::uint64_t digest = 0;
 };
 
+/// Evaluates the scenario's checker set over a cluster that has already
+/// been driven (to its horizon, or incrementally — the checkers only see
+/// the trace). The explorer drives Clusters itself and calls this.
+ScenarioRunResult evaluateScenarioRun(const Scenario& s, std::uint64_t seed,
+                                      const Cluster& cluster);
+
 /// Runs the scenario to its horizon and evaluates its checker set.
 ScenarioRunResult runScenario(const Scenario& s, std::uint64_t seed);
 
-/// Serializes a result as one JSON object (single line, stable key order).
+/// Serializes a result as one JSON object (single line, stable key order,
+/// strings escaped by the common/json.h writer).
 std::string toJsonLine(const ScenarioRunResult& r);
 
 /// The named catalog. Entries are registered in catalog.cpp; names are

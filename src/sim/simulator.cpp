@@ -44,6 +44,7 @@ void Simulator::scheduleInput(ProcessId p, Time t, Payload input) {
   e.kind = EventKind::kInput;
   e.target = p;
   e.input = std::move(input);
+  ++pendingInputs_;
   push(std::move(e));
 }
 
@@ -107,6 +108,7 @@ void Simulator::applyEffects(ProcessId self, Effects& fx) {
         e.kind = EventKind::kMessage;
         e.target = dest;
         e.msg = m;
+        latestScheduledArrival_ = std::max(latestScheduledArrival_, e.time);
         push(std::move(e));
       }
       trace_.countSend(out.weight);
@@ -124,10 +126,16 @@ void Simulator::applyEffects(ProcessId self, Effects& fx) {
   // post-update state. Checkers that order records within a timestamp
   // (commit_checker via OutputEvent::order) rely on this.
   if (fx.delivered().has_value()) {
-    trace_.recordDelivered(self, now_, *fx.delivered());
+    // The hook fires only on actual changes — the same notion of "d_i
+    // changed" the trace snapshots use, so observer streams and snapshot
+    // histories line up one to one.
+    if (trace_.recordDelivered(self, now_, *fx.delivered()) && deliveryHook_) {
+      deliveryHook_(self, now_, *fx.delivered());
+    }
   }
   for (const Payload& out : fx.outputs()) {
     trace_.recordOutput(self, now_, out);
+    if (outputHook_) outputHook_(self, now_, out);
   }
 }
 
@@ -139,6 +147,7 @@ bool Simulator::processOne() {
   events_.pop();
   now_ = std::max(now_, e.time);
   ++eventsProcessed_;
+  if (e.kind == EventKind::kInput) --pendingInputs_;
 
   const ProcessId p = e.target;
   if (pattern_.crashed(p, now_)) {
@@ -192,6 +201,36 @@ void Simulator::run() {
   ensureStarted();
   while (processOne()) {
   }
+}
+
+bool Simulator::runUntilTime(Time t) {
+  ensureStarted();
+  while (!events_.empty() && events_.top().time <= t) {
+    if (!processOne()) return false;
+  }
+  return !events_.empty() && events_.top().time <= config_.maxTime &&
+         eventsProcessed_ < config_.maxEvents;
+}
+
+std::optional<Time> Simulator::nextEventTime() const {
+  if (events_.empty()) return std::nullopt;
+  return events_.top().time;
+}
+
+void Simulator::setCrash(ProcessId p, Time t) {
+  WFD_ENSURE(p < automata_.size());
+  WFD_ENSURE_MSG(t >= now_, "cannot inject a crash into the past");
+  // Crashes are monotone (F(t) subset of F(t+1)): re-crashing an already
+  // faulty process can only move its crash time EARLIER than the recorded
+  // one if the trace were rewritten — keep the earliest.
+  WFD_ENSURE_MSG(pattern_.crashTime(p) >= now_,
+                 "process already crashed before now");
+  pattern_.setCrash(p, std::min(t, pattern_.crashTime(p)));
+}
+
+void Simulator::setDetector(std::shared_ptr<const FailureDetector> detector) {
+  WFD_ENSURE(detector != nullptr);
+  detector_ = std::move(detector);
 }
 
 bool Simulator::runUntil(const std::function<bool(const Simulator&)>& pred,

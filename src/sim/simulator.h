@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <queue>
 #include <unordered_set>
 #include <vector>
@@ -86,6 +87,19 @@ class Simulator {
   /// Runs until maxTime / maxEvents.
   void run();
 
+  /// Incremental stepping: processes every pending event with time <= t
+  /// (still bounded by maxTime / maxEvents), then stops — the next event,
+  /// if any, is strictly later than t. Interleaving runUntilTime calls
+  /// with run()/runUntil() is sound: all of them drain the same event
+  /// queue in the same order, so a run split into arbitrary increments
+  /// is bit-for-bit the run executed in one go. Returns true while the
+  /// run can still make progress (events remain and no limit was hit).
+  bool runUntilTime(Time t);
+
+  /// Timestamp of the earliest pending event; nullopt when the queue is
+  /// empty. (The facade's quiescence detection peeks at this.)
+  std::optional<Time> nextEventTime() const;
+
   /// Runs until the predicate holds or the limits hit. Returns true iff
   /// the predicate held.
   ///
@@ -101,6 +115,36 @@ class Simulator {
   bool runUntil(const std::function<bool(const Simulator&)>& pred,
                 std::uint64_t checkEvery = 64);
 
+  /// Live fault injection: marks p as crashing at time t (>= now). From t
+  /// on, p takes no further steps and messages addressed to it vanish —
+  /// exactly as if the crash had been in the pattern from the start.
+  /// Events already processed are untouched, so determinism is preserved:
+  /// a run is a function of (config, pattern, model, seed) PLUS the
+  /// sequence of injection calls and their times. Note the failure
+  /// detector keeps its own view; callers that inject crashes should
+  /// swap the detector too (setDetector) or its history may stop being
+  /// valid for the new pattern (the api::Cluster facade does both).
+  void setCrash(ProcessId p, Time t);
+
+  /// Replaces the failure detector oracle. Future steps query the new
+  /// one; past queries are already baked into the trace. Any detector
+  /// swap mid-run defines a composite history: valid whenever the new
+  /// detector's history is valid for the (possibly updated) pattern from
+  /// now on — e.g. a fresh OmegaFd re-stabilizing after an injected
+  /// crash.
+  void setDetector(std::shared_ptr<const FailureDetector> detector);
+
+  /// Observation hooks for push-style consumers (api::Cluster delivery
+  /// observers). Called synchronously right after the trace records the
+  /// corresponding effect; hooks must not mutate the simulator. Replacing
+  /// a hook mid-run is allowed; hooks never affect scheduling, so runs
+  /// with and without hooks are bit-for-bit identical.
+  using DeliveryHook =
+      std::function<void(ProcessId, Time, const std::vector<MsgId>&)>;
+  using OutputHook = std::function<void(ProcessId, Time, const Payload&)>;
+  void setDeliveryHook(DeliveryHook hook) { deliveryHook_ = std::move(hook); }
+  void setOutputHook(OutputHook hook) { outputHook_ = std::move(hook); }
+
   Time now() const { return now_; }
   std::uint64_t eventsProcessed() const { return eventsProcessed_; }
   const Trace& trace() const { return trace_; }
@@ -110,6 +154,16 @@ class Simulator {
   const NetworkModel& network() const { return *network_; }
   /// Network-layer duplicates suppressed at the automaton boundary.
   std::uint64_t duplicatesSuppressed() const { return duplicatesSuppressed_; }
+
+  /// Application inputs scheduled but not yet handed to their automaton
+  /// (quiescence detection: a service with pending inputs is not done).
+  std::uint64_t pendingInputs() const { return pendingInputs_; }
+
+  /// Latest arrival time ever scheduled for a message (monotone upper
+  /// bound; 0 before the first send). Quiescence detection uses it to see
+  /// through partition windows: a message deferred far past now is
+  /// pending work even though nothing moves meanwhile.
+  Time latestScheduledArrival() const { return latestScheduledArrival_; }
 
   /// Live automaton state (tests peek at protocol internals).
   const Automaton& automaton(ProcessId p) const { return *automata_.at(p); }
@@ -155,10 +209,14 @@ class Simulator {
   std::vector<std::unordered_set<std::uint64_t>> deliveredUids_;
   /// Scratch buffer for NetworkModel::schedule (avoids per-send allocs).
   std::vector<Time> arrivalScratch_;
+  DeliveryHook deliveryHook_;
+  OutputHook outputHook_;
   Trace trace_;
   Time now_ = 0;
   std::uint64_t eventsProcessed_ = 0;
   std::uint64_t duplicatesSuppressed_ = 0;
+  std::uint64_t pendingInputs_ = 0;
+  Time latestScheduledArrival_ = 0;
   std::uint64_t nextSeq_ = 0;
   std::uint64_t nextMsgUid_ = 0;
   bool started_ = false;

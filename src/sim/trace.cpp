@@ -20,9 +20,9 @@ void Trace::recordOutput(ProcessId p, Time t, Payload value) {
   outputs_.at(p).push_back(OutputEvent{t, recordOrder_.at(p)++, std::move(value)});
 }
 
-void Trace::recordDelivered(ProcessId p, Time t, std::vector<MsgId> seq) {
+bool Trace::recordDelivered(ProcessId p, Time t, std::vector<MsgId> seq) {
   std::vector<MsgId>& old = current_.at(p);
-  if (seq == old) return;  // no change; keep traces compact
+  if (seq == old) return false;  // no change; keep traces compact
 
   // Prefix check: old must be a prefix of seq for the update to be a pure
   // extension (no revocation or reorder).
@@ -73,6 +73,7 @@ void Trace::recordDelivered(ProcessId p, Time t, std::vector<MsgId> seq) {
     snapshots_.at(p).push_back(
         DeliverySnapshot{t, recordOrder_.at(p)++, current_.at(p)});
   }
+  return true;
 }
 
 std::optional<MsgDeliveryStats> Trace::deliveryStats(ProcessId p, MsgId m) const {

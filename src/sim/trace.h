@@ -57,7 +57,9 @@ class Trace {
   std::size_t processCount() const { return outputs_.size(); }
 
   void recordOutput(ProcessId p, Time t, Payload value);
-  void recordDelivered(ProcessId p, Time t, std::vector<MsgId> seq);
+  /// Returns true iff the sequence actually changed (an unchanged d_i is
+  /// not re-recorded; observers key off the same notion of "change").
+  bool recordDelivered(ProcessId p, Time t, std::vector<MsgId> seq);
   /// Records one sent message of the given abstract weight (words).
   void countSend(std::uint64_t weight) {
     ++messagesSent_;

@@ -6,6 +6,7 @@
 #include "common/digraph.h"
 #include "common/ensure.h"
 #include "common/hash.h"
+#include "common/json.h"
 #include "common/rng.h"
 #include "common/strings.h"
 #include "common/types.h"
@@ -14,6 +15,24 @@
 
 namespace wfd {
 namespace {
+
+TEST(JsonQuotedTest, MatchesTheWriterForPlainAndHostileStrings) {
+  // jsonQuoted IS the writer's string emission: escape-free strings pass
+  // through byte-identical, everything else escapes exactly like dump().
+  for (const std::string& s :
+       {std::string("stable-leader"), std::string(""),
+        std::string("with \"quotes\" and \\backslash\\"),
+        std::string("ctl\n\tbytes\x01"), std::string("unicode ok: café")}) {
+    EXPECT_EQ(jsonQuoted(s), Json::str(s).dump()) << s;
+  }
+  EXPECT_EQ(jsonQuoted("plain"), "\"plain\"");
+  EXPECT_EQ(jsonQuoted("a\"b\\c"), "\"a\\\"b\\\\c\"");
+  // Round trip through the parser: quoted output is always valid JSON.
+  const std::string hostile = "x\"y\\z\n\x02";
+  auto parsed = Json::parse(jsonQuoted(hostile));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->asString(), hostile);
+}
 
 TEST(MsgIdTest, RoundTripsOriginAndSeq) {
   const MsgId id = makeMsgId(7, 42);

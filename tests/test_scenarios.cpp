@@ -10,6 +10,7 @@
 #include <string>
 
 #include "checkers/workload.h"
+#include "common/json.h"
 #include "etob/etob_automaton.h"
 #include "fd/detectors.h"
 #include "scenario/scenario.h"
@@ -238,6 +239,24 @@ TEST(ScenarioRunTest, DuplicatingModelsSuppressAtTheBoundary) {
   // The network duplicated aggressively; none of it reached an automaton
   // twice (r.pass already covers no-duplication; this pins the mechanism).
   EXPECT_GT(r.duplicatesSuppressed, 0u);
+}
+
+TEST(ScenarioRunTest, ToJsonLineEscapesHostileStrings) {
+  // Failure clauses and names are arbitrary strings; the emitter must
+  // produce valid JSON for all of them (they route through the common
+  // json.h writer) while keeping the documented key ORDER.
+  ScenarioRunResult r;
+  r.scenario = "evil \"name\" with \\ and \n";
+  r.stack = "etob";
+  r.network = "uniform";
+  r.failures.push_back("clause with \"quote\"");
+  const std::string line = toJsonLine(r);
+  auto parsed = Json::parse(line);
+  ASSERT_TRUE(parsed.has_value()) << line;
+  EXPECT_EQ(parsed->find("scenario")->asString(), r.scenario);
+  EXPECT_EQ(parsed->find("failures")->items().at(0).asString(),
+            "clause with \"quote\"");
+  EXPECT_TRUE(line.rfind("{\"scenario\":", 0) == 0);  // key order kept
 }
 
 TEST(ScenarioRunTest, InstantiateHonoursConfigOverrides) {

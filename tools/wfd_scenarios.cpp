@@ -5,6 +5,11 @@
 //   wfd_scenarios --scenario NAME              # one run, seed 1
 //   wfd_scenarios --scenario all --seed-count 3
 //   wfd_scenarios --scenario NAME --seed 7     # one specific seed
+//   wfd_scenarios --scenario all --stack etob  # only one stack's entries
+//
+// --stack <name> (mirroring wfd_explore --stack) filters whatever
+// selection the other flags made — including --list/--describe — to the
+// catalog entries of one protocol stack.
 //
 // Every run prints exactly one JSON line on stdout (schema: the fields of
 // ScenarioRunResult; see docs/SCENARIOS.md). Exit status is 0 iff every
@@ -23,7 +28,8 @@ namespace {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --list | --describe |\n"
-               "       %s --scenario <name|all> [--seed-count N] [--seed S]\n",
+               "       %s --scenario <name|all> [--stack <name>]\n"
+               "       [--seed-count N] [--seed S]\n",
                argv0, argv0);
 }
 
@@ -43,6 +49,7 @@ int main(int argc, char** argv) {
   bool list = false;
   bool describe = false;
   std::string scenarioArg;
+  std::string stackArg;
   std::uint64_t seedCount = 1;
   std::uint64_t firstSeed = 1;
 
@@ -61,6 +68,8 @@ int main(int argc, char** argv) {
       describe = true;
     } else if (arg == "--scenario") {
       scenarioArg = next();
+    } else if (arg == "--stack") {
+      stackArg = next();
     } else if (arg == "--seed-count") {
       seedCount = parseU64("--seed-count", next());
     } else if (arg == "--seed") {
@@ -75,14 +84,34 @@ int main(int argc, char** argv) {
     }
   }
 
+  bool filterByStack = false;
+  wfd::AlgoStack stackFilter = wfd::AlgoStack::kEtob;
+  if (!stackArg.empty() && stackArg != "all") {
+    if (!wfd::parseAlgoStack(stackArg, &stackFilter)) {
+      std::fprintf(stderr, "--stack: unknown stack '%s' (one of:", stackArg.c_str());
+      for (wfd::AlgoStack s : wfd::kAllAlgoStacks) {
+        std::fprintf(stderr, " %s", wfd::algoStackName(s));
+      }
+      std::fprintf(stderr, ")\n");
+      return 2;
+    }
+    filterByStack = true;
+  }
+  const auto selectedByStack = [&](const wfd::Scenario& s) {
+    return !filterByStack || s.stack == stackFilter;
+  };
+
   const auto& catalog = wfd::scenarioCatalog();
 
   if (list) {
-    for (const wfd::Scenario& s : catalog) std::printf("%s\n", s.name.c_str());
+    for (const wfd::Scenario& s : catalog) {
+      if (selectedByStack(s)) std::printf("%s\n", s.name.c_str());
+    }
     return 0;
   }
   if (describe) {
     for (const wfd::Scenario& s : catalog) {
+      if (!selectedByStack(s)) continue;
       std::printf("%-24s [%s, n=%zu] %s\n", s.name.c_str(),
                   wfd::algoStackName(s.stack), s.config.processCount,
                   s.description.c_str());
@@ -100,12 +129,19 @@ int main(int argc, char** argv) {
 
   std::vector<const wfd::Scenario*> selected;
   if (scenarioArg == "all") {
-    for (const wfd::Scenario& s : catalog) selected.push_back(&s);
+    for (const wfd::Scenario& s : catalog) {
+      if (selectedByStack(s)) selected.push_back(&s);
+    }
   } else {
     const wfd::Scenario* s = wfd::findScenario(scenarioArg);
     if (s == nullptr) {
       std::fprintf(stderr, "unknown scenario '%s' (try --list)\n",
                    scenarioArg.c_str());
+      return 2;
+    }
+    if (!selectedByStack(*s)) {
+      std::fprintf(stderr, "scenario '%s' is not a %s scenario\n",
+                   scenarioArg.c_str(), wfd::algoStackName(stackFilter));
       return 2;
     }
     selected.push_back(s);
