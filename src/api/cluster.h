@@ -27,6 +27,18 @@
 // a run split into arbitrary advanceTo/advanceBy increments is
 // bit-for-bit the run executed in one go (the digest-equivalence tests
 // in tests/test_api.cpp pin both properties over the whole catalog).
+//
+// Thread affinity: a Cluster is entirely self-contained — it owns its
+// Simulator, Rng, trace log and observers, holds no global or static
+// mutable state, and nothing in this layer (or below it, audited down to
+// src/common/: the only function-local statics in the library are const)
+// is shared between instances. DISTINCT Clusters may therefore run on
+// distinct threads with no synchronization, which is what the campaign
+// runner's work-stealing pool does (explore/campaign.h): each worker
+// constructs, drives and destroys its own Cluster per plan. A SINGLE
+// Cluster (and its Client handles, which borrow it) is not synchronized
+// and must stay confined to one thread at a time. TSan enforces the
+// audit in CI (the `tsan` preset + campaign smoke).
 #pragma once
 
 #include <cstdint>

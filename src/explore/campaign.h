@@ -1,0 +1,182 @@
+// Parallel fuzz campaigns: a work-stealing thread-pool runner executing
+// thousands of independent FuzzPlans concurrently, with coverage-guided
+// seed scheduling on top.
+//
+// The explorer (explorer.h) runs one plan at a time on one core.
+// FuzzPlans are pure data and every Cluster is self-contained (no module
+// above src/common/ holds shared mutable state — see the thread-affinity
+// contract in api/cluster.h), so a campaign is embarrassingly parallel:
+// each worker thread owns the Cluster of the plan it is running, and
+// results merge by (generation, index) so the merged report — and
+// therefore wfd_explore's stdout — is byte-identical regardless of the
+// thread count. `--jobs 8` may only ever be FASTER than `--jobs 1`,
+// never different.
+//
+// Coverage-guided scheduling (the greybox-fuzzer loop, transplanted to
+// schedule exploration): every run is folded into a CoverageMap of
+// feature strings — fault-environment shape (crash/partition/chaos
+// layers), detector mode, checker near-misses (the observed tau-hat
+// disagreement window), delivered-sequence digest classes. Between
+// generations the scheduler ranks prior runs by the RARITY of their
+// features and re-queues deterministic mutations of the rarest ones, so
+// later generations spend their budget where the campaign has seen the
+// least behaviour. Mutation draws are seeded from
+// (master seed, generation, slot, parent fingerprint) — no wall clock,
+// no thread ids — so the whole campaign is a pure function of its
+// options, and generation g+1 depends only on the MERGED results of
+// generations <= g, never on completion order.
+//
+// Determinism is load-bearing enough to be adversarially tested: the
+// per-generation shard merge (mergeCampaignShards) refuses — loudly —
+// any worker result set that drops or double-counts a plan, and the
+// campaign-level mutation tests in tests/test_campaign.cpp prove it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "explore/explorer.h"
+#include "explore/fuzz_plan.h"
+
+namespace wfd {
+
+/// Order-independent accumulator of feature-string hit counts. Summing
+/// counts commutes, so merging per-run (or per-shard) maps in ANY order
+/// yields the same map — the property the campaign's byte-identity
+/// across thread counts rests on (pinned in tests/test_campaign.cpp).
+class CoverageMap {
+ public:
+  void add(const std::string& feature, std::uint64_t hits = 1);
+  void addSignature(const std::vector<std::string>& features);
+  void merge(const CoverageMap& other);
+
+  /// Hit count of one feature (0 when never seen).
+  std::uint64_t count(const std::string& feature) const;
+  /// Rarity of a signature: the minimum hit count over its features
+  /// (UINT64_MAX for an empty signature — nothing to learn from it).
+  std::uint64_t rarity(const std::vector<std::string>& features) const;
+
+  std::size_t distinctFeatures() const { return counts_.size(); }
+  std::uint64_t totalHits() const;
+  const std::map<std::string, std::uint64_t>& features() const {
+    return counts_;
+  }
+
+  /// {"<feature>": count, ...} — sorted keys, so the dump is canonical.
+  Json toJson() const;
+
+ private:
+  std::map<std::string, std::uint64_t> counts_;
+};
+
+/// The per-run feature signature the coverage map accumulates: stack,
+/// fault-environment shape (crash count bucket / crash-at-0, partition
+/// recurrence + isolation shape, chaos / skew / slow-link layers),
+/// detector mode, process count, outcome (pass or per-clause failure
+/// keys), the tau-hat near-miss bucket (log2 of the observed
+/// disagreement window — a strong-total-order near-miss under the spec
+/// oracle), and a 6-bit delivered-sequence digest class. Deterministic
+/// in (plan, result); sorted and de-duplicated.
+std::vector<std::string> coverageSignature(const FuzzPlan& plan,
+                                           const ScenarioRunResult& result);
+
+/// One deterministic mutation of `base` drawn from `mutationSeed`:
+/// re-seed the schedule, add/drop a crash, add/resize a partition
+/// window, toggle the chaos/skew/slow-link layers, scale the workload,
+/// halve tau_Omega, or grow the system by one process. The result is
+/// re-validated (and its horizon re-derived), so a returned plan is
+/// always admissible AND fairness-preserving — tau_Omega never grows,
+/// keeping the sampler's liveness-fairness caps intact. nullopt when
+/// every candidate mutation of this seed lands inadmissible.
+std::optional<FuzzPlan> mutateFuzzPlan(const FuzzPlan& base,
+                                       std::uint64_t mutationSeed);
+
+struct CampaignOptions {
+  AlgoStack stack = AlgoStack::kEtob;
+  /// Generation-0 budget: plans sampled exactly like explore() does
+  /// (same seed derivation, same plan stream).
+  std::uint64_t runs = 100;
+  std::uint64_t seed = 1;
+  FuzzOracle oracle = FuzzOracle::kSpec;
+  bool shrink = true;
+  std::uint64_t maxShrinkAttempts = 400;
+  /// Worker threads. 1 (the default) executes inline on the calling
+  /// thread — no pool, no threads, bit-for-bit the sequential path.
+  unsigned jobs = 1;
+  /// Total generations including generation 0. Generations > 0 run
+  /// coverage-guided mutations of the rarest prior runs.
+  std::uint64_t generations = 2;
+  /// Mutation budget per generation > 0; 0 derives runs / 4.
+  std::uint64_t mutationsPerGeneration = 0;
+};
+
+/// One executed campaign run, addressed by (generation, index) — the
+/// merge key that makes reports thread-count-independent.
+struct CampaignRunRecord {
+  std::uint64_t generation = 0;
+  std::uint64_t index = 0;
+  FuzzPlan plan;
+  ScenarioRunResult result;
+  std::vector<std::string> signature;
+};
+
+struct CampaignViolation {
+  std::uint64_t generation = 0;
+  std::uint64_t index = 0;
+  FuzzPlan plan;
+  ScenarioRunResult result;
+  ShrinkResult shrunken;
+};
+
+struct CampaignReport {
+  std::uint64_t runsExecuted = 0;
+  /// Every run, sorted by (generation, index).
+  std::vector<CampaignRunRecord> runs;
+  /// Every violation, sorted by (generation, index), each shrunken
+  /// (shrinking itself executes on the pool).
+  std::vector<CampaignViolation> violations;
+  /// Accumulated over all runs in (generation, index) order.
+  CoverageMap coverage;
+  /// True when keepGoing() stopped the campaign at a generation
+  /// boundary before all generations ran.
+  bool truncated = false;
+};
+
+/// Validates and merges per-worker result shards for one generation:
+/// the union of the shards must cover indices [0, expectedCount) of
+/// `generation` EXACTLY once. A dropped worker shard, a double-counted
+/// plan, or a record from the wrong generation returns nullopt with a
+/// diagnosis in *error — the campaign treats that as a fatal internal
+/// defect (WFD_ENSURE), never as data. Exposed (rather than buried in
+/// the runner) so the campaign-level mutation tests can prove the merge
+/// fails loudly.
+std::optional<std::vector<CampaignRunRecord>> mergeCampaignShards(
+    std::uint64_t generation, std::uint64_t expectedCount,
+    std::vector<std::vector<CampaignRunRecord>> shards, std::string* error);
+
+/// Runs the campaign: generation 0 is the sampled plan stream,
+/// subsequent generations are coverage-guided mutations; every plan of a
+/// generation executes on the work-stealing pool, shards merge by index,
+/// and violations shrink on the pool afterwards. The report is a pure
+/// function of `options` (for any jobs value); `keepGoing` (nullable) is
+/// polled at generation boundaries and between shrink attempts, so a
+/// wall-clock budget truncates whole generations — the runs that DID
+/// execute are still the deterministic ones.
+CampaignReport runCampaign(const CampaignOptions& options,
+                           const std::function<bool()>& keepGoing = nullptr);
+
+/// Canonical per-run JSON line for campaign mode: fuzzRunJsonLine's
+/// fields plus the generation (sorted keys, no timing, no thread info —
+/// stdout stays byte-identical across --jobs values).
+std::string campaignRunJsonLine(const CampaignRunRecord& rec);
+
+/// Canonical per-stack coverage summary line.
+std::string campaignCoverageJsonLine(AlgoStack stack,
+                                     const CampaignReport& report);
+
+}  // namespace wfd

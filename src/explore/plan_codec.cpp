@@ -2,8 +2,11 @@
 
 #include "common/strings.h"
 
+#include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <system_error>
 #include <utility>
 
 namespace wfd {
@@ -531,6 +534,24 @@ bool saveCorpusFile(const std::string& path, const CorpusEntry& entry) {
   if (!out) return false;
   out << encodeCorpusEntry(entry).dump() << "\n";
   return static_cast<bool>(out);
+}
+
+std::optional<std::vector<std::string>> listCorpusFiles(const std::string& dir,
+                                                        std::string* error) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    if (error != nullptr) *error = dir + ": " + ec.message();
+    return std::nullopt;
+  }
+  std::vector<std::string> files;
+  for (const std::filesystem::directory_entry& entry : it) {
+    if (!entry.is_regular_file(ec) || ec) continue;
+    if (entry.path().extension() != ".json") continue;
+    files.push_back(entry.path().string());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
 }
 
 }  // namespace wfd

@@ -70,4 +70,13 @@ std::optional<CorpusEntry> loadCorpusFile(const std::string& path,
 /// Returns false on I/O failure.
 bool saveCorpusFile(const std::string& path, const CorpusEntry& entry);
 
+/// Lists the corpus files (*.json) directly inside `dir`, sorted by
+/// path. Directory iteration order is filesystem-defined (readdir order
+/// differs between ext4, tmpfs, overlayfs, ...), so every consumer that
+/// replays a whole directory MUST go through this to keep its output
+/// stable across machines. nullopt + *error when `dir` is not a
+/// readable directory; an empty vector when it contains no .json files.
+std::optional<std::vector<std::string>> listCorpusFiles(const std::string& dir,
+                                                        std::string* error);
+
 }  // namespace wfd

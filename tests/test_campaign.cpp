@@ -1,0 +1,398 @@
+// Campaign subsystem tests: byte-identity of the merged report across
+// thread counts (the property wfd_explore --jobs rests on), coverage-map
+// order-independence, the mutator's admissibility/fairness contract, the
+// coverage-guided scheduler's determinism, loud merge failure on dropped
+// or double-counted worker results, and sorted corpus-directory listing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ensure.h"
+#include "explore/campaign.h"
+#include "explore/explorer.h"
+#include "explore/fuzz_plan.h"
+#include "explore/plan_codec.h"
+
+namespace wfd {
+namespace {
+
+/// Flattens a campaign report to the exact bytes wfd_explore would print
+/// (run lines + shrunken witnesses + coverage line) — the comparison the
+/// "--jobs N is byte-identical" acceptance criterion makes.
+std::string reportBytes(AlgoStack stack, const CampaignReport& report) {
+  std::string out;
+  for (const CampaignRunRecord& rec : report.runs) {
+    out += campaignRunJsonLine(rec) + "\n";
+  }
+  for (const CampaignViolation& v : report.violations) {
+    out += std::to_string(v.generation) + ":" + std::to_string(v.index) + ":" +
+           encodeFuzzPlan(v.shrunken.plan).dump() + ":" +
+           std::to_string(v.shrunken.attempts) + ":" +
+           std::to_string(v.shrunken.accepted) + "\n";
+  }
+  out += campaignCoverageJsonLine(stack, report) + "\n";
+  return out;
+}
+
+// --- Determinism across thread counts ---------------------------------------
+
+TEST(CampaignTest, ReportIsByteIdenticalAcrossJobs) {
+  CampaignOptions options;
+  options.stack = AlgoStack::kEtob;
+  options.runs = 12;
+  options.seed = 5;
+  options.jobs = 1;
+  const CampaignReport base = runCampaign(options);
+  const std::string baseBytes = reportBytes(options.stack, base);
+  EXPECT_EQ(base.runsExecuted, base.runs.size());
+  EXPECT_GT(base.runs.size(), options.runs);  // mutations actually ran
+
+  for (unsigned jobs : {2u, 8u}) {
+    options.jobs = jobs;
+    const CampaignReport r = runCampaign(options);
+    EXPECT_EQ(reportBytes(options.stack, r), baseBytes) << "jobs=" << jobs;
+    EXPECT_EQ(r.runsExecuted, base.runsExecuted) << "jobs=" << jobs;
+  }
+}
+
+TEST(CampaignTest, ViolationsAndCorpusEntriesIdenticalAcrossJobs) {
+  // strict-tob on the eTOB stack violates by design pre-stabilization —
+  // the jobs sweep must agree on every witness AND on the exit-status
+  // input (the violation count), not just on passing runs.
+  CampaignOptions options;
+  options.stack = AlgoStack::kEtob;
+  options.runs = 10;
+  options.seed = 2;
+  options.oracle = FuzzOracle::kStrictTob;
+  options.maxShrinkAttempts = 60;
+  options.jobs = 1;
+  const CampaignReport base = runCampaign(options);
+  ASSERT_FALSE(base.violations.empty());
+
+  std::vector<std::string> baseEntries;
+  for (const CampaignViolation& v : base.violations) {
+    baseEntries.push_back(
+        encodeCorpusEntry(
+            makeCorpusEntry("e", "t", v.shrunken.plan, options.oracle,
+                            &v.shrunken.result))
+            .dump());
+  }
+
+  options.jobs = 8;
+  const CampaignReport threaded = runCampaign(options);
+  ASSERT_EQ(threaded.violations.size(), base.violations.size());
+  for (std::size_t i = 0; i < base.violations.size(); ++i) {
+    const CampaignViolation& v = threaded.violations[i];
+    EXPECT_EQ(encodeCorpusEntry(
+                  makeCorpusEntry("e", "t", v.shrunken.plan, options.oracle,
+                                  &v.shrunken.result))
+                  .dump(),
+              baseEntries[i])
+        << "violation " << i;
+  }
+}
+
+TEST(CampaignTest, GenerationZeroMatchesThePlainExploreStream) {
+  // --campaign must explore the same generation-0 plans plain explore
+  // does for the same (stack, seed): the campaign extends the explorer,
+  // it does not fork a second sampling scheme.
+  CampaignOptions options;
+  options.stack = AlgoStack::kGossipLww;
+  options.runs = 8;
+  options.seed = 11;
+  options.generations = 1;
+  options.shrink = false;
+  const CampaignReport report = runCampaign(options);
+  ASSERT_EQ(report.runs.size(), 8u);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(planFingerprint(report.runs[i].plan),
+              planFingerprint(sampleFuzzPlan(options.stack, options.seed, i)));
+  }
+}
+
+// --- Coverage map ------------------------------------------------------------
+
+TEST(CoverageMapTest, AccumulationIsOrderIndependent) {
+  std::vector<std::vector<std::string>> signatures = {
+      {"a", "b"}, {"b", "c"}, {"a"}, {"c", "d", "e"}, {"b"}};
+
+  CoverageMap forward;
+  for (const auto& s : signatures) forward.addSignature(s);
+
+  CoverageMap backward;
+  for (auto it = signatures.rbegin(); it != signatures.rend(); ++it) {
+    backward.addSignature(*it);
+  }
+
+  // Shard-merge shape: two partial maps merged in either order.
+  CoverageMap shardA, shardB;
+  shardA.addSignature(signatures[0]);
+  shardA.addSignature(signatures[3]);
+  shardB.addSignature(signatures[1]);
+  shardB.addSignature(signatures[2]);
+  shardB.addSignature(signatures[4]);
+  CoverageMap mergedAB = shardA;
+  mergedAB.merge(shardB);
+  CoverageMap mergedBA = shardB;
+  mergedBA.merge(shardA);
+
+  const std::string want = forward.toJson().dump();
+  EXPECT_EQ(backward.toJson().dump(), want);
+  EXPECT_EQ(mergedAB.toJson().dump(), want);
+  EXPECT_EQ(mergedBA.toJson().dump(), want);
+  EXPECT_EQ(forward.count("b"), 3u);
+  EXPECT_EQ(forward.count("e"), 1u);
+  EXPECT_EQ(forward.count("missing"), 0u);
+  EXPECT_EQ(forward.distinctFeatures(), 5u);
+  EXPECT_EQ(forward.totalHits(), 9u);
+}
+
+TEST(CoverageMapTest, RarityIsTheMinimumFeatureCount) {
+  CoverageMap map;
+  map.add("common", 10);
+  map.add("rare", 1);
+  EXPECT_EQ(map.rarity({"common"}), 10u);
+  EXPECT_EQ(map.rarity({"common", "rare"}), 1u);
+  EXPECT_EQ(map.rarity({"common", "never-seen"}), 0u);
+  EXPECT_EQ(map.rarity({}), std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(CoverageMapTest, SignatureIsDeterministicSortedAndDeduplicated) {
+  const FuzzPlan plan = sampleFuzzPlan(AlgoStack::kEtob, 1, 0);
+  const ScenarioRunResult result = runFuzzPlan(plan, FuzzOracle::kSpec);
+  const std::vector<std::string> a = coverageSignature(plan, result);
+  const std::vector<std::string> b = coverageSignature(plan, result);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.empty());
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+  EXPECT_EQ(std::adjacent_find(a.begin(), a.end()), a.end());
+}
+
+// --- Mutator -----------------------------------------------------------------
+
+TEST(MutateFuzzPlanTest, MutantsAreAdmissibleAndFairnessPreserving) {
+  for (AlgoStack stack : kAllAlgoStacks) {
+    for (std::uint64_t i = 0; i < 30; ++i) {
+      const FuzzPlan base = sampleFuzzPlan(stack, 3, i);
+      const std::optional<FuzzPlan> mutated = mutateFuzzPlan(base, i * 977 + 1);
+      if (!mutated) continue;
+      const auto violations = planAdmissibilityViolations(*mutated);
+      EXPECT_TRUE(violations.empty())
+          << algoStackName(stack) << " seed " << i << ": "
+          << violations.front();
+      EXPECT_EQ(mutated->maxTime, planHorizon(*mutated));
+      // The omega-ec tau cap is sampler FAIRNESS, not admissibility:
+      // growing tau_Omega would make liveness clauses unfair assertions
+      // without tripping the validator, so the mutator must never do it.
+      EXPECT_LE(mutated->tauOmega, base.tauOmega)
+          << algoStackName(stack) << " seed " << i;
+      EXPECT_EQ(mutated->stack, base.stack);
+    }
+  }
+}
+
+TEST(MutateFuzzPlanTest, MutationIsAFunctionOfPlanAndSeed) {
+  const FuzzPlan base = sampleFuzzPlan(AlgoStack::kEtob, 1, 3);
+  const std::optional<FuzzPlan> a = mutateFuzzPlan(base, 42);
+  const std::optional<FuzzPlan> b = mutateFuzzPlan(base, 42);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(planFingerprint(*a), planFingerprint(*b));
+  EXPECT_NE(planFingerprint(*a), planFingerprint(base));
+}
+
+// --- Merge (campaign-level mutation tests) ----------------------------------
+
+std::vector<CampaignRunRecord> makeRecords(std::uint64_t generation,
+                                           std::uint64_t count) {
+  std::vector<CampaignRunRecord> recs(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    recs[i].generation = generation;
+    recs[i].index = i;
+    recs[i].plan = sampleFuzzPlan(AlgoStack::kEtob, 1, i);
+  }
+  return recs;
+}
+
+TEST(MergeCampaignShardsTest, MergesShardsByIndexRegardlessOfSplit) {
+  const std::vector<CampaignRunRecord> recs = makeRecords(0, 6);
+  // Interleaved split, reversed inside one shard — worker scheduling
+  // noise the merge must erase.
+  std::vector<std::vector<CampaignRunRecord>> shards(2);
+  shards[0] = {recs[5], recs[1], recs[3]};
+  shards[1] = {recs[0], recs[2], recs[4]};
+  std::string error;
+  const auto merged = mergeCampaignShards(0, 6, shards, &error);
+  ASSERT_TRUE(merged.has_value()) << error;
+  ASSERT_EQ(merged->size(), 6u);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    EXPECT_EQ((*merged)[i].index, i);
+    EXPECT_EQ(planFingerprint((*merged)[i].plan),
+              planFingerprint(recs[i].plan));
+  }
+}
+
+TEST(MergeCampaignShardsTest, RejectsADroppedWorkerShard) {
+  const std::vector<CampaignRunRecord> recs = makeRecords(0, 4);
+  // Worker 1's results vanish (the bug class: a shard lost on the floor
+  // would silently halve coverage if the merge tolerated it).
+  std::vector<std::vector<CampaignRunRecord>> shards(2);
+  shards[0] = {recs[0], recs[1]};
+  std::string error;
+  EXPECT_FALSE(mergeCampaignShards(0, 4, shards, &error).has_value());
+  EXPECT_NE(error.find("missing"), std::string::npos) << error;
+}
+
+TEST(MergeCampaignShardsTest, RejectsADoubleCountedPlan) {
+  const std::vector<CampaignRunRecord> recs = makeRecords(0, 3);
+  std::vector<std::vector<CampaignRunRecord>> shards(2);
+  shards[0] = {recs[0], recs[1]};
+  shards[1] = {recs[1], recs[2]};  // index 1 ran "twice"
+  std::string error;
+  EXPECT_FALSE(mergeCampaignShards(0, 3, shards, &error).has_value());
+  EXPECT_NE(error.find("double-counted"), std::string::npos) << error;
+}
+
+TEST(MergeCampaignShardsTest, RejectsRecordsFromAnotherGeneration) {
+  std::vector<std::vector<CampaignRunRecord>> shards(1);
+  shards[0] = makeRecords(2, 2);
+  std::string error;
+  EXPECT_FALSE(mergeCampaignShards(1, 2, shards, &error).has_value());
+  EXPECT_NE(error.find("generation"), std::string::npos) << error;
+}
+
+TEST(MergeCampaignShardsTest, RejectsAnOutOfRangeIndex) {
+  std::vector<std::vector<CampaignRunRecord>> shards(1);
+  shards[0] = makeRecords(0, 3);  // indices 0..2 but only 2 expected
+  std::string error;
+  EXPECT_FALSE(mergeCampaignShards(0, 2, shards, &error).has_value());
+  EXPECT_NE(error.find("outside"), std::string::npos) << error;
+}
+
+TEST(MergeCampaignShardsTest, CampaignTreatsMergeDefectsAsInvariantErrors) {
+  // The runner wraps a failed merge in WFD_ENSURE — the same loud-throw
+  // contract every internal invariant uses (common/ensure.h), so a
+  // corrupted merge can never masquerade as a clean small report.
+  std::string error;
+  const auto merged = mergeCampaignShards(0, 1, {}, &error);
+  ASSERT_FALSE(merged.has_value());
+  EXPECT_THROW(WFD_ENSURE_MSG(merged.has_value(), "campaign merge: " << error),
+               InvariantError);
+}
+
+// --- Corpus directory listing ------------------------------------------------
+
+TEST(ListCorpusFilesTest, ListsSortedJsonOnly) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "wfd_list_corpus_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  // Created in an order that differs from sorted order on purpose;
+  // readdir order additionally differs per filesystem, which is exactly
+  // what the sort must erase.
+  for (const char* name : {"zeta.json", "alpha.json", "mid.json",
+                           "README.md", "notes.txt"}) {
+    std::ofstream((dir / name).string()) << "{}\n";
+  }
+  std::filesystem::create_directories(dir / "sub.json");  // dir, not file
+
+  std::string error;
+  const auto files = listCorpusFiles(dir.string(), &error);
+  ASSERT_TRUE(files.has_value()) << error;
+  ASSERT_EQ(files->size(), 3u);
+  EXPECT_EQ(std::filesystem::path((*files)[0]).filename(), "alpha.json");
+  EXPECT_EQ(std::filesystem::path((*files)[1]).filename(), "mid.json");
+  EXPECT_EQ(std::filesystem::path((*files)[2]).filename(), "zeta.json");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ListCorpusFilesTest, FailsOnMissingDirectory) {
+  std::string error;
+  EXPECT_FALSE(listCorpusFiles("/nonexistent/wfd-corpus", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ListCorpusFilesTest, CommittedCorpusListsEveryEntry) {
+  // The committed corpus directory must be listable (this is what the
+  // corpus_replay_dir ctest target and --replay <dir> walk). ctest runs
+  // from the build dir; direct invocation from the repo root.
+  std::string error;
+  auto files = listCorpusFiles("tests/corpus", &error);
+  if (!files) files = listCorpusFiles("../tests/corpus", &error);
+  if (!files) GTEST_SKIP() << "corpus dir not found: " << error;
+  EXPECT_TRUE(std::is_sorted(files->begin(), files->end()));
+  for (const std::string& path : *files) {
+    std::string loadError;
+    EXPECT_TRUE(loadCorpusFile(path, &loadError).has_value())
+        << path << ": " << loadError;
+  }
+}
+
+// --- Scheduler ---------------------------------------------------------------
+
+TEST(CampaignTest, LaterGenerationsMutateRatherThanResample) {
+  CampaignOptions options;
+  options.stack = AlgoStack::kEtob;
+  options.runs = 12;
+  options.seed = 9;
+  options.generations = 3;
+  options.mutationsPerGeneration = 6;
+  options.shrink = false;
+  const CampaignReport report = runCampaign(options);
+  ASSERT_EQ(report.runsExecuted, 12u + 6u + 6u);
+
+  // Generation > 0 plans must not all be fresh samples: the scheduler's
+  // whole point is re-queuing mutations of rare-coverage parents. (A
+  // mutation that lands inadmissible falls back to the sample stream, so
+  // "some mutated" — not "all" — is the deterministic guarantee.)
+  std::uint64_t mutatedCount = 0;
+  std::uint64_t sampleStreamIndex = options.runs;
+  for (const CampaignRunRecord& rec : report.runs) {
+    if (rec.generation == 0) continue;
+    if (planFingerprint(rec.plan) !=
+        planFingerprint(
+            sampleFuzzPlan(options.stack, options.seed, sampleStreamIndex))) {
+      ++mutatedCount;
+    } else {
+      ++sampleStreamIndex;
+    }
+  }
+  EXPECT_GT(mutatedCount, 0u);
+}
+
+TEST(CampaignTest, TruncationStopsAtGenerationBoundaries) {
+  CampaignOptions options;
+  options.stack = AlgoStack::kEtob;
+  options.runs = 6;
+  options.seed = 4;
+  options.generations = 4;
+  options.mutationsPerGeneration = 3;
+  options.shrink = false;
+
+  // Allow exactly one generation: the keepGoing budget trips before
+  // generation 1 is dispatched.
+  int polls = 0;
+  const CampaignReport report =
+      runCampaign(options, [&polls]() { return ++polls <= 1; });
+  EXPECT_TRUE(report.truncated);
+  EXPECT_EQ(report.runsExecuted, 6u);
+  // The runs that DID execute are the same deterministic prefix a full
+  // campaign produces.
+  const CampaignReport full = runCampaign(options);
+  ASSERT_GE(full.runs.size(), report.runs.size());
+  for (std::size_t i = 0; i < report.runs.size(); ++i) {
+    EXPECT_EQ(campaignRunJsonLine(report.runs[i]),
+              campaignRunJsonLine(full.runs[i]));
+  }
+}
+
+}  // namespace
+}  // namespace wfd

@@ -11,14 +11,26 @@
 //       additionally assert strong TOB (tau-hat == 0): violations are
 //       EXPECTED under pre-stabilization disagreement; each is shrunk to
 //       a minimal separation witness and saved as a corpus entry.
+//   wfd_explore --campaign --stack all --runs 2000 --seed 1 --jobs 8
+//       coverage-guided campaign (src/explore/campaign.h): generation 0
+//       samples the same plan stream as plain explore, later generations
+//       mutate rare-coverage plans; all runs execute on a work-stealing
+//       pool with --jobs worker threads. Output is byte-identical for
+//       every --jobs value — the merged report depends only on
+//       (stack, seed, runs, generations, mutations), never on thread
+//       scheduling. --jobs requires --campaign (plain mode is the pinned
+//       sequential path).
 //   wfd_explore --replay tests/corpus/foo.json
 //       re-run a saved plan and verify it reproduces its recorded
 //       outcome (failure keys always; digest when pinned for this
 //       build's stdlib). This is what the corpus_replay_* ctest
-//       targets run.
+//       targets run. A directory replays every *.json inside it in
+//       SORTED order (readdir order is filesystem-defined).
 //   wfd_explore --time-budget 60 ...
 //       wall-clock cap per stack (truncates the run sequence; the runs
-//       that execute are still the deterministic prefix).
+//       that execute are still the deterministic prefix). In campaign
+//       mode it truncates at generation boundaries — and is the one
+//       flag that breaks byte-identity across invocations.
 //
 // Exit status: 0 iff every executed run met its oracle (spec mode), no
 // shrink invariant broke (strict mode exits 1 when violations were
@@ -28,6 +40,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <functional>
 #include <optional>
 #include <string>
@@ -35,6 +48,7 @@
 
 #include "common/json.h"
 
+#include "explore/campaign.h"
 #include "explore/explorer.h"
 #include "explore/plan_codec.h"
 
@@ -46,7 +60,8 @@ void usage(const char* argv0) {
       "usage: %s --stack <name|all> [--runs N] [--seed S]\n"
       "       [--oracle spec|strict-tob] [--no-shrink] [--time-budget SEC]\n"
       "       [--corpus-dir DIR]\n"
-      "       %s --replay <plan-or-corpus.json>\n"
+      "       [--campaign [--jobs N] [--generations N] [--mutations N]]\n"
+      "       %s --replay <plan-or-corpus.json | corpus-dir>\n"
       "       %s --list-stacks\n",
       argv0, argv0, argv0);
 }
@@ -75,6 +90,10 @@ int main(int argc, char** argv) {
   wfd::FuzzOracle oracle = wfd::FuzzOracle::kSpec;
   bool shrink = true;
   bool listStacks = false;
+  bool campaign = false;
+  std::uint64_t jobs = 1;
+  std::uint64_t generations = 2;
+  std::uint64_t mutations = 0;  // 0 = campaign default (runs / 4)
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -99,6 +118,22 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--no-shrink") {
       shrink = false;
+    } else if (arg == "--campaign") {
+      campaign = true;
+    } else if (arg == "--jobs") {
+      jobs = parseU64("--jobs", next());
+      if (jobs == 0) {
+        std::fprintf(stderr, "--jobs: must be >= 1\n");
+        return 2;
+      }
+    } else if (arg == "--generations") {
+      generations = parseU64("--generations", next());
+      if (generations == 0) {
+        std::fprintf(stderr, "--generations: must be >= 1\n");
+        return 2;
+      }
+    } else if (arg == "--mutations") {
+      mutations = parseU64("--mutations", next());
     } else if (arg == "--time-budget") {
       timeBudgetSec = parseU64("--time-budget", next());
     } else if (arg == "--corpus-dir") {
@@ -124,22 +159,46 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // --jobs is a campaign knob: the plain explore path is the pinned
+  // sequential byte-identity baseline and must not silently change
+  // meaning, so requesting threads without --campaign is a usage error.
+  if (jobs > 1 && !campaign) {
+    std::fprintf(stderr, "--jobs requires --campaign\n");
+    return 2;
+  }
+
   if (!replayPath.empty()) {
-    std::string error;
-    std::optional<wfd::CorpusEntry> entry =
-        wfd::loadCorpusFile(replayPath, &error);
-    if (!entry) {
-      std::fprintf(stderr, "replay: %s\n", error.c_str());
-      return 2;
+    std::vector<std::string> paths;
+    if (std::filesystem::is_directory(replayPath)) {
+      std::string error;
+      std::optional<std::vector<std::string>> files =
+          wfd::listCorpusFiles(replayPath, &error);
+      if (!files) {
+        std::fprintf(stderr, "replay: %s\n", error.c_str());
+        return 2;
+      }
+      paths = std::move(*files);
+    } else {
+      paths.push_back(replayPath);
     }
-    std::string whyNot;
-    const bool ok = wfd::replayCorpusEntry(*entry, &whyNot);
-    wfd::Json line = wfd::Json::object();
-    line.set("replay", wfd::Json::str(entry->name));
-    line.set("match", wfd::Json::boolean(ok));
-    std::printf("%s\n", line.dump().c_str());
-    if (!ok) std::fprintf(stderr, "replay mismatch: %s\n", whyNot.c_str());
-    return ok ? 0 : 1;
+    bool allOk = true;
+    for (const std::string& path : paths) {
+      std::string error;
+      std::optional<wfd::CorpusEntry> entry = wfd::loadCorpusFile(path, &error);
+      if (!entry) {
+        std::fprintf(stderr, "replay: %s\n", error.c_str());
+        return 2;
+      }
+      std::string whyNot;
+      const bool ok = wfd::replayCorpusEntry(*entry, &whyNot);
+      wfd::Json line = wfd::Json::object();
+      line.set("replay", wfd::Json::str(entry->name));
+      line.set("match", wfd::Json::boolean(ok));
+      std::printf("%s\n", line.dump().c_str());
+      if (!ok) std::fprintf(stderr, "replay mismatch: %s\n", whyNot.c_str());
+      allOk = allOk && ok;
+    }
+    return allOk ? 0 : 1;
   }
 
   if (stackArg.empty()) {
@@ -176,6 +235,77 @@ int main(int argc, char** argv) {
       keepGoing = [deadline]() {
         return std::chrono::steady_clock::now() < deadline;
       };
+    }
+
+    if (campaign) {
+      wfd::CampaignOptions copts;
+      copts.stack = stack;
+      copts.runs = runs;
+      copts.seed = seed;
+      copts.oracle = oracle;
+      copts.shrink = shrink;
+      copts.jobs = static_cast<unsigned>(jobs);
+      copts.generations = generations;
+      copts.mutationsPerGeneration = mutations;
+
+      const wfd::CampaignReport report = wfd::runCampaign(copts, keepGoing);
+      totalViolations += report.violations.size();
+
+      for (const wfd::CampaignRunRecord& rec : report.runs) {
+        std::printf("%s\n", wfd::campaignRunJsonLine(rec).c_str());
+      }
+      for (const wfd::CampaignViolation& v : report.violations) {
+        wfd::Json line = wfd::Json::object();
+        line.set("violation_generation", wfd::Json::number(v.generation));
+        line.set("violation_run", wfd::Json::number(v.index));
+        line.set("stack", wfd::Json::str(wfd::algoStackName(stack)));
+        wfd::Json keys = wfd::Json::array();
+        for (const std::string& k : wfd::failureKeys(v.result)) {
+          keys.push(wfd::Json::str(k));
+        }
+        line.set("failure_keys", std::move(keys));
+        line.set("shrink_attempts", wfd::Json::number(v.shrunken.attempts));
+        line.set("shrink_accepted", wfd::Json::number(v.shrunken.accepted));
+        line.set("shrunken_plan", wfd::encodeFuzzPlan(v.shrunken.plan));
+        std::printf("%s\n", line.dump().c_str());
+
+        if (!corpusDir.empty()) {
+          const std::string name =
+              std::string(wfd::algoStackName(stack)) + "-" +
+              wfd::fuzzOracleName(oracle) + "-seed" + std::to_string(seed) +
+              "-gen" + std::to_string(v.generation) + "-run" +
+              std::to_string(v.index);
+          const std::string foundBy =
+              std::string("wfd_explore --campaign --stack ") +
+              wfd::algoStackName(stack) + " --oracle " +
+              wfd::fuzzOracleName(oracle) + " --seed " + std::to_string(seed) +
+              " --runs " + std::to_string(runs) + " --generations " +
+              std::to_string(generations);
+          const wfd::CorpusEntry entry = wfd::makeCorpusEntry(
+              name, foundBy, v.shrunken.plan, oracle, &v.shrunken.result);
+          const std::string path = corpusDir + "/" + name + ".json";
+          if (wfd::saveCorpusFile(path, entry)) {
+            ++corpusSaved;
+            std::fprintf(stderr, "saved corpus entry %s\n", path.c_str());
+          } else {
+            std::fprintf(stderr, "FAILED to save corpus entry %s\n",
+                         path.c_str());
+          }
+        }
+      }
+
+      std::printf("%s\n", wfd::campaignCoverageJsonLine(stack, report).c_str());
+
+      wfd::Json summary = wfd::Json::object();
+      summary.set("summary", wfd::Json::str(wfd::algoStackName(stack)));
+      summary.set("oracle", wfd::Json::str(wfd::fuzzOracleName(oracle)));
+      summary.set("seed", wfd::Json::number(seed));
+      summary.set("generations", wfd::Json::number(generations));
+      summary.set("runs_executed", wfd::Json::number(report.runsExecuted));
+      summary.set("violations", wfd::Json::number(report.violations.size()));
+      std::printf("%s\n", summary.dump().c_str());
+      std::fflush(stdout);
+      continue;
     }
 
     const wfd::ExploreReport report = wfd::explore(
