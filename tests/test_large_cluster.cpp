@@ -1,0 +1,138 @@
+// Scale-regression suite: pins the simulator's behavior across the
+// big-cluster performance refactors.
+//
+// The digest matrix below was generated from the implementation BEFORE
+// the lazy-event-queue / indexed-partition / FD-cache rewrites (PR 7),
+// so every hot-path change since is proven behavior-preserving at small
+// n: a refactor that reorders events, changes an FD value, or defers a
+// message differently flips at least one of these 54 constants. The
+// same scenario shapes then run at n=64 as smoke tests — the sizes the
+// refactors exist for.
+//
+// If a digest here EVER changes, that is a behavior change, not a
+// refactor. Do not re-pin without understanding exactly which event
+// stream changed and why that is intended.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "scenario/scale_scenarios.h"
+
+namespace wfd {
+namespace {
+
+using scaletest::scalePartitionScenario;
+using scaletest::scaleScenario;
+
+constexpr std::size_t kNs[] = {3, 5, 8};
+constexpr std::uint64_t kSeeds[] = {1, 2, 3};
+
+// Generated from the pre-refactor implementation (PR 7 pin step);
+// indexed [stack in kAllAlgoStacks order][n in kNs][seed in kSeeds].
+constexpr std::uint64_t kPinnedMatrix[5][3][3] = {
+    // etob
+    {
+        {0xe89cd3de1e8238a1ULL, 0x579307525c49954aULL, 0x01ca467859825468ULL},
+        {0x287429266b17607eULL, 0xbbcb807c7fd9d25dULL, 0x5aaa8b3b5a09fed9ULL},
+        {0xbe5657a4281197caULL, 0x406b81ecb1a109cfULL, 0x9cb41e3b785d6587ULL},
+    },
+    // commit-etob
+    {
+        {0x611a328f6950c477ULL, 0x7f548323fd6a5e1fULL, 0xbfcbeea1943d0674ULL},
+        {0x7079872d6cc8a6e7ULL, 0xb2d937509afe4112ULL, 0x5033f1167ae85040ULL},
+        {0xbb770401200cbb58ULL, 0x0e0201f9cc052688ULL, 0x87aa32570f388930ULL},
+    },
+    // tob-via-consensus
+    {
+        {0x1cda1272c7e8ba16ULL, 0x53062a8378f4614eULL, 0xda76c93c391e5052ULL},
+        {0xb740483ca562f558ULL, 0x2c39e721ccc44928ULL, 0x8a3b5fea4b75b8ddULL},
+        {0x7a9c766ce47fd8bcULL, 0x1111a8d128256866ULL, 0x4e4416dfaaf59db0ULL},
+    },
+    // gossip-lww
+    {
+        {0xdc040175422455b4ULL, 0xeef1b99d6c2bdef3ULL, 0xef4318c0e6be2ecfULL},
+        {0x43bba940d595ca8dULL, 0x991b71eb45633395ULL, 0x1352d3d4c61c6831ULL},
+        {0x6b9e5b0bb5da2614ULL, 0xd5018ac8b04d38e9ULL, 0xa3fe110c35b760dcULL},
+    },
+    // omega-ec
+    {
+        {0xf0f02ece9c95a7cdULL, 0xcc712804a0f0960eULL, 0x84cf68c2282f5366ULL},
+        {0xe27ae3b71749f085ULL, 0x9cedddb4cc2c0109ULL, 0x646512e6551a15b1ULL},
+        {0x4399dd321e2bbe9dULL, 0x63b900a7ab1bdc26ULL, 0xa4775ad492d0a600ULL},
+    },
+};
+
+// Same pre-refactor pin for the periodic half/half partition variant
+// (the indexed-connectivity rewrite's anchor); [n in kNs][seed in kSeeds].
+constexpr std::uint64_t kPinnedPartition[3][3] = {
+    {0x502f29b86a503ac9ULL, 0x077800129b585edfULL, 0x43ceaffd888d8c7fULL},
+    {0x5ec10c468908c683ULL, 0x0997c784af415bbeULL, 0x3e36811f08566a50ULL},
+    {0x98f1282b0ee94ebeULL, 0x579e143ee0caae9dULL, 0x9160e683ddb390cdULL},
+};
+
+TEST(ScalePinnedDigestTest, MatrixMatchesPreRefactorPins) {
+  for (std::size_t si = 0; si < std::size(kAllAlgoStacks); ++si) {
+    const AlgoStack stack = kAllAlgoStacks[si];
+    for (std::size_t ni = 0; ni < std::size(kNs); ++ni) {
+      for (std::size_t ki = 0; ki < std::size(kSeeds); ++ki) {
+        const auto r =
+            runScenario(scaleScenario(stack, kNs[ni]), kSeeds[ki]);
+        EXPECT_TRUE(r.pass)
+            << algoStackName(stack) << " n=" << kNs[ni]
+            << " seed=" << kSeeds[ki]
+            << (r.failures.empty() ? "" : ": " + r.failures.front());
+        EXPECT_EQ(r.digest, kPinnedMatrix[si][ni][ki])
+            << algoStackName(stack) << " n=" << kNs[ni]
+            << " seed=" << kSeeds[ki];
+      }
+    }
+  }
+}
+
+TEST(ScalePinnedDigestTest, PartitionVariantMatchesPreRefactorPins) {
+  for (std::size_t ni = 0; ni < std::size(kNs); ++ni) {
+    for (std::size_t ki = 0; ki < std::size(kSeeds); ++ki) {
+      const auto r =
+          runScenario(scalePartitionScenario(kNs[ni]), kSeeds[ki]);
+      EXPECT_TRUE(r.pass)
+          << "partition n=" << kNs[ni] << " seed=" << kSeeds[ki]
+          << (r.failures.empty() ? "" : ": " + r.failures.front());
+      EXPECT_EQ(r.digest, kPinnedPartition[ni][ki])
+          << "partition n=" << kNs[ni] << " seed=" << kSeeds[ki];
+    }
+  }
+}
+
+// n=64 smoke: every stack runs its scale shape at a size where the
+// O(n^2) bookkeeping used to dominate, and every checker still passes.
+class LargeClusterSmokeTest : public ::testing::TestWithParam<AlgoStack> {};
+
+TEST_P(LargeClusterSmokeTest, N64ShapePasses) {
+  // Gossip-LWW at n=64 pays an O(n^2 * rounds * table) merge cost that
+  // is protocol-inherent, not simulator overhead — a shorter horizon
+  // (convergence happens by ~1500) keeps the smoke affordable under
+  // sanitizers without weakening what it checks.
+  const Time horizon = GetParam() == AlgoStack::kGossipLww ? 3000 : 6000;
+  const auto r = runScenario(scaleScenario(GetParam(), 64, horizon), 1);
+  EXPECT_TRUE(r.pass) << (r.failures.empty() ? "" : r.failures.front());
+  EXPECT_GT(r.messagesDelivered, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStacks, LargeClusterSmokeTest, ::testing::ValuesIn(kAllAlgoStacks),
+    [](const ::testing::TestParamInfo<AlgoStack>& info) {
+      std::string name = algoStackName(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(LargeClusterSmokeTest, N64PartitionShapePasses) {
+  const auto r = runScenario(scalePartitionScenario(64), 1);
+  EXPECT_TRUE(r.pass) << (r.failures.empty() ? "" : r.failures.front());
+}
+
+}  // namespace
+}  // namespace wfd
