@@ -10,19 +10,47 @@ void OmegaEcAutomaton::onInput(const StepContext&, const Payload& input,
   fx.broadcast(Payload::of(EcPromoteMsg{propose->value, propose->instance}));
 }
 
-void OmegaEcAutomaton::onMessage(const StepContext&, ProcessId from,
+const Value* OmegaEcAutomaton::findReceived(std::uint64_t key) const {
+  if (key < kDenseKeyLimit) {
+    if (key >= denseReceived_.size() || !denseReceived_[key]) return nullptr;
+    return &*denseReceived_[key];
+  }
+  const auto it = sparseReceived_.find(key);
+  return it == sparseReceived_.end() ? nullptr : &it->second;
+}
+
+void OmegaEcAutomaton::storeReceived(std::uint64_t key, const Value& value) {
+  if (key < kDenseKeyLimit) {
+    if (key >= denseReceived_.size()) denseReceived_.resize(key + 1);
+    denseReceived_[key] = value;
+  } else {
+    sparseReceived_[key] = value;
+  }
+}
+
+void OmegaEcAutomaton::markDecided(Instance l) {
+  if (l < kDenseKeyLimit) {
+    if (l >= denseDecided_.size()) denseDecided_.resize(l + 1);
+    denseDecided_[l] = true;
+  } else {
+    sparseDecided_.insert(l);
+  }
+}
+
+void OmegaEcAutomaton::onMessage(const StepContext& ctx, ProcessId from,
                                  const Payload& msg, Effects&) {
   const auto* promote = msg.as<EcPromoteMsg>();
   if (promote == nullptr) return;
-  received_[{from, promote->instance}] = promote->value;
+  storeReceived(receivedKey(ctx, from, promote->instance), promote->value);
 }
 
 void OmegaEcAutomaton::onTimeout(const StepContext& ctx, Effects& fx) {
-  if (count_ == 0 || decided_.contains(count_)) return;
-  auto it = received_.find({ctx.fd.leader, count_});
-  if (it == received_.end()) return;
-  decided_.insert(count_);
-  fx.output(Payload::of(EcDecision{count_, it->second}));
+  if (count_ == 0 || decided(count_)) return;
+  if (ctx.fd.leader >= ctx.processCount) return;
+  const Value* v = findReceived(receivedKey(ctx, ctx.fd.leader, count_));
+  if (v == nullptr) return;
+  markDecided(count_);
+  fx.output(Payload::of(EcDecision{count_, *v}));
 }
 
 }  // namespace wfd

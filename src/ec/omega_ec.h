@@ -12,9 +12,10 @@
 // quorum (Sigma) is ever needed.
 #pragma once
 
-#include <map>
-#include <set>
-#include <utility>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 #include "common/types.h"
 #include "ec/ec_types.h"
@@ -36,14 +37,40 @@ class OmegaEcAutomaton final : public CloneableAutomaton<OmegaEcAutomaton> {
   void onTimeout(const StepContext& ctx, Effects& fx) override;
 
   Instance currentInstance() const { return count_; }
-  bool decided(Instance l) const { return decided_.contains(l); }
+  bool decided(Instance l) const {
+    return l < kDenseKeyLimit
+               ? l < denseDecided_.size() && denseDecided_[l]
+               : sparseDecided_.contains(l);
+  }
 
  private:
+  /// Flat key for received_i[(j, l)]: l * n + j, injective for any run
+  /// (n is fixed per run). The EC driver proposes instances
+  /// sequentially, so the key space is dense and a flat vector replaces
+  /// the former std::map — whose per-promote node allocation and
+  /// rebalancing was the top cost of the Omega->EC stack at n=256.
+  /// Direct (non-driver) users with absurdly large instance numbers
+  /// fall back to a sparse map instead of forcing a huge resize.
+  static std::uint64_t receivedKey(const StepContext& ctx, ProcessId j,
+                                   Instance l) {
+    return l * static_cast<std::uint64_t>(ctx.processCount) +
+           static_cast<std::uint64_t>(j);
+  }
+
+  static constexpr std::uint64_t kDenseKeyLimit = 1u << 22;
+
+  const Value* findReceived(std::uint64_t key) const;
+  void storeReceived(std::uint64_t key, const Value& value);
+  void markDecided(Instance l);
+
   Instance count_ = 0;  // number of the last instance invoked here
-  /// received_i[(j, l)] — the value promoted by p_j for instance l.
-  std::map<std::pair<ProcessId, Instance>, Value> received_;
+  /// received_i[(j, l)] — the value promoted by p_j for instance l
+  /// (nullopt = ⊥); dense storage with sparse overflow past the limit.
+  std::vector<std::optional<Value>> denseReceived_;
+  std::unordered_map<std::uint64_t, Value> sparseReceived_;
   /// Instances already responded to (EC-Integrity: at most one response).
-  std::set<Instance> decided_;
+  std::vector<bool> denseDecided_;
+  std::unordered_set<Instance> sparseDecided_;
 };
 
 }  // namespace wfd

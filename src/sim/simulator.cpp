@@ -39,13 +39,13 @@ void Simulator::addProcess(ProcessId p, std::unique_ptr<Automaton> automaton) {
 
 void Simulator::scheduleInput(ProcessId p, Time t, Payload input) {
   WFD_ENSURE(p < automata_.size());
-  Event e;
+  EventNode e;
   e.time = t;
   e.kind = EventKind::kInput;
   e.target = p;
-  e.input = std::move(input);
+  e.slot = allocInputSlot(std::move(input));
   ++pendingInputs_;
-  push(std::move(e));
+  push(e);
 }
 
 void Simulator::addDisruption(LinkDisruption d) {
@@ -60,9 +60,71 @@ void Simulator::addDisruption(LinkDisruption d) {
   disruptions_.push_back(std::move(spec));
 }
 
-void Simulator::push(Event e) {
+void Simulator::push(EventNode e) {
   e.seq = nextSeq_++;
-  events_.push(std::move(e));
+  heap_.push_back(e);
+  // Sift up.
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!nodeBefore(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void Simulator::popHeap() {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  // Sift down.
+  const std::size_t size = heap_.size();
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t left = 2 * i + 1;
+    if (left >= size) break;
+    const std::size_t right = left + 1;
+    std::size_t smallest =
+        (right < size && nodeBefore(heap_[right], heap_[left])) ? right : left;
+    if (!nodeBefore(heap_[smallest], heap_[i])) break;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+std::uint32_t Simulator::allocMessageSlot() {
+  if (!freeMessageSlots_.empty()) {
+    const std::uint32_t slot = freeMessageSlots_.back();
+    freeMessageSlots_.pop_back();
+    return slot;
+  }
+  WFD_ENSURE_MSG(messageArena_.size() < kNoSlot, "message arena exhausted");
+  messageArena_.emplace_back();
+  return static_cast<std::uint32_t>(messageArena_.size() - 1);
+}
+
+void Simulator::releaseMessageSlot(std::uint32_t slot) {
+  MessageRecord& rec = messageArena_[slot];
+  if (--rec.refs == 0) {
+    rec.msg.payload = Payload();
+    freeMessageSlots_.push_back(slot);
+  }
+}
+
+std::uint32_t Simulator::allocInputSlot(Payload input) {
+  if (!freeInputSlots_.empty()) {
+    const std::uint32_t slot = freeInputSlots_.back();
+    freeInputSlots_.pop_back();
+    inputArena_[slot] = std::move(input);
+    return slot;
+  }
+  WFD_ENSURE_MSG(inputArena_.size() < kNoSlot, "input arena exhausted");
+  inputArena_.push_back(std::move(input));
+  return static_cast<std::uint32_t>(inputArena_.size() - 1);
+}
+
+void Simulator::releaseInputSlot(std::uint32_t slot) {
+  inputArena_[slot] = Payload();
+  freeInputSlots_.push_back(slot);
 }
 
 void Simulator::ensureStarted() {
@@ -70,46 +132,51 @@ void Simulator::ensureStarted() {
   started_ = true;
   for (ProcessId p = 0; p < automata_.size(); ++p) {
     WFD_ENSURE_MSG(automata_[p] != nullptr, "missing automaton for a process");
-    Event e;
+    EventNode e;
     // Stagger initial λ-steps so symmetric protocols don't act in
     // lock-step from time zero.
     e.time = 1 + p;
     e.kind = EventKind::kTimeout;
     e.target = p;
-    push(std::move(e));
+    push(e);
   }
 }
 
 void Simulator::applyEffects(ProcessId self, Effects& fx) {
   for (const OutboundMsg& out : fx.sends()) {
     const auto sendOne = [&](ProcessId dest) {
-      Message m;
-      m.from = self;
-      m.to = dest;
-      m.payload = out.payload;
-      m.sentAt = now_;
-      m.uid = nextMsgUid_++;
+      const std::uint64_t uid = nextMsgUid_++;
       // The model decides when (and how many network-layer copies of)
       // this send arrives; legacy LinkDisruption windows apply on top.
       arrivalScratch_.clear();
-      network_->schedule(LinkSend{self, dest, now_, m.uid}, rng_,
+      network_->schedule(LinkSend{self, dest, now_, uid}, rng_,
                          arrivalScratch_);
       WFD_ENSURE_MSG(!arrivalScratch_.empty(),
                      "network model scheduled no delivery (links are reliable)");
       if (arrivalScratch_.size() > 1) {
         WFD_ENSURE_MSG(network_->mayDuplicate(),
                        "model emitted duplicates but mayDuplicate() is false");
-        m.duplicated = true;
       }
+      // One envelope regardless of how many network-layer copies were
+      // scheduled; the heap nodes all point at it.
+      const std::uint32_t slot = allocMessageSlot();
+      MessageRecord& rec = messageArena_[slot];
+      rec.msg.from = self;
+      rec.msg.to = dest;
+      rec.msg.payload = out.payload;
+      rec.msg.sentAt = now_;
+      rec.msg.uid = uid;
+      rec.msg.duplicated = arrivalScratch_.size() > 1;
+      rec.refs = static_cast<std::uint32_t>(arrivalScratch_.size());
       for (Time at : arrivalScratch_) {
         WFD_ENSURE_MSG(at > now_, "network model scheduled a non-causal arrival");
-        Event e;
+        EventNode e;
         e.time = deferPastPartitions(disruptions_, self, dest, at);
         e.kind = EventKind::kMessage;
         e.target = dest;
-        e.msg = m;
+        e.slot = slot;
         latestScheduledArrival_ = std::max(latestScheduledArrival_, e.time);
-        push(std::move(e));
+        push(e);
       }
       trace_.countSend(out.weight);
     };
@@ -140,31 +207,46 @@ void Simulator::applyEffects(ProcessId self, Effects& fx) {
 }
 
 bool Simulator::processOne() {
-  if (events_.empty()) return false;
+  if (heap_.empty()) return false;
   if (eventsProcessed_ >= config_.maxEvents) return false;
-  Event e = events_.top();
+  const EventNode e = heap_.front();
   if (e.time > config_.maxTime) return false;
-  events_.pop();
+  popHeap();
   now_ = std::max(now_, e.time);
   ++eventsProcessed_;
   if (e.kind == EventKind::kInput) --pendingInputs_;
 
   const ProcessId p = e.target;
-  if (pattern_.crashed(p, now_)) {
-    // Crashed processes take no steps; their λ-steps stop being
-    // rescheduled and messages addressed to them vanish.
-    return true;
-  }
-
-  // Exactly-once at the automaton boundary: only the first arrival of a
-  // multi-copy uid reaches the automaton; later copies are consumed
-  // silently. Single-copy messages (the vast majority even under chaos
-  // models) skip the bookkeeping entirely.
-  if (e.kind == EventKind::kMessage && e.msg.duplicated) {
-    if (!deliveredUids_[p].insert(e.msg.uid).second) {
-      ++duplicatesSuppressed_;
+  // Resolve the event body (and release its arena slot) up front; the
+  // Payload handle keeps the body alive through the dispatch below.
+  ProcessId msgFrom = kNoProcess;
+  Payload body;
+  if (e.kind == EventKind::kMessage) {
+    MessageRecord& rec = messageArena_[e.slot];
+    if (pattern_.crashed(p, now_)) {
+      // Crashed processes take no steps; their λ-steps stop being
+      // rescheduled and messages addressed to them vanish.
+      releaseMessageSlot(e.slot);
       return true;
     }
+    // Exactly-once at the automaton boundary: only the first arrival of
+    // a multi-copy uid reaches the automaton; later copies are consumed
+    // silently. Single-copy messages (the vast majority even under chaos
+    // models) skip the bookkeeping entirely.
+    if (rec.msg.duplicated && !deliveredUids_[p].insert(rec.msg.uid).second) {
+      ++duplicatesSuppressed_;
+      releaseMessageSlot(e.slot);
+      return true;
+    }
+    msgFrom = rec.msg.from;
+    body = rec.msg.payload;
+    releaseMessageSlot(e.slot);
+  } else {
+    if (e.kind == EventKind::kInput) {
+      body = std::move(inputArena_[e.slot]);
+      releaseInputSlot(e.slot);
+    }
+    if (pattern_.crashed(p, now_)) return true;
   }
 
   StepContext ctx;
@@ -173,23 +255,24 @@ bool Simulator::processOne() {
   ctx.processCount = automata_.size();
   ctx.fd = detector_->valueAt(p, now_);
 
-  Effects fx;
+  Effects& fx = effectsScratch_;
+  fx.clear();
   switch (e.kind) {
     case EventKind::kMessage:
       trace_.countDelivery();
-      automata_[p]->onMessage(ctx, e.msg.from, e.msg.payload, fx);
+      automata_[p]->onMessage(ctx, msgFrom, body, fx);
       break;
     case EventKind::kTimeout: {
       automata_[p]->onTimeout(ctx, fx);
-      Event next;
+      EventNode next;
       next.time = now_ + network_->lambdaPeriod(p, config_.timeoutPeriod);
       next.kind = EventKind::kTimeout;
       next.target = p;
-      push(std::move(next));
+      push(next);
       break;
     }
     case EventKind::kInput:
-      automata_[p]->onInput(ctx, e.input, fx);
+      automata_[p]->onInput(ctx, body, fx);
       break;
   }
   trace_.countStep(p);
@@ -205,16 +288,16 @@ void Simulator::run() {
 
 bool Simulator::runUntilTime(Time t) {
   ensureStarted();
-  while (!events_.empty() && events_.top().time <= t) {
+  while (!heap_.empty() && heap_.front().time <= t) {
     if (!processOne()) return false;
   }
-  return !events_.empty() && events_.top().time <= config_.maxTime &&
+  return !heap_.empty() && heap_.front().time <= config_.maxTime &&
          eventsProcessed_ < config_.maxEvents;
 }
 
 std::optional<Time> Simulator::nextEventTime() const {
-  if (events_.empty()) return std::nullopt;
-  return events_.top().time;
+  if (heap_.empty()) return std::nullopt;
+  return heap_.front().time;
 }
 
 void Simulator::setCrash(ProcessId p, Time t) {

@@ -14,7 +14,6 @@
 #include <functional>
 #include <memory>
 #include <optional>
-#include <queue>
 #include <unordered_set>
 #include <vector>
 
@@ -172,23 +171,40 @@ class Simulator {
  private:
   enum class EventKind : std::uint8_t { kMessage, kTimeout, kInput };
 
-  struct Event {
+  /// Slim heap node: what the binary heap actually sifts. The message /
+  /// input body lives in a side arena addressed by `slot`, so heap
+  /// operations move 32 trivially-copyable bytes instead of a ~100-byte
+  /// struct with two shared_ptr members (refcount traffic on every
+  /// sift level was a top cost at n=256). Event order is a pure function
+  /// of (time, seq) — identical to the old priority_queue.
+  struct EventNode {
     Time time = 0;
     std::uint64_t seq = 0;  // FIFO tie-break
+    std::uint32_t slot = kNoSlot;
     EventKind kind = EventKind::kTimeout;
     ProcessId target = kNoProcess;
-    Message msg;    // kMessage
-    Payload input;  // kInput
   };
 
-  struct EventAfter {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
+  /// One network envelope, shared by every scheduled copy of a
+  /// duplicated send (refs counts the copies still in the heap).
+  struct MessageRecord {
+    Message msg;
+    std::uint32_t refs = 0;
   };
 
-  void push(Event e);
+  static bool nodeBefore(const EventNode& a, const EventNode& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  void push(EventNode e);
+  void popHeap();
+  std::uint32_t allocMessageSlot();
+  void releaseMessageSlot(std::uint32_t slot);
+  std::uint32_t allocInputSlot(Payload input);
+  void releaseInputSlot(std::uint32_t slot);
   void applyEffects(ProcessId self, Effects& fx);
   bool processOne();  // false when out of events/limits
   void ensureStarted();
@@ -199,7 +215,12 @@ class Simulator {
   std::shared_ptr<const NetworkModel> network_;
   Rng rng_;
   std::vector<std::unique_ptr<Automaton>> automata_;
-  std::priority_queue<Event, std::vector<Event>, EventAfter> events_;
+  /// Binary min-heap over (time, seq); bodies live in the arenas below.
+  std::vector<EventNode> heap_;
+  std::vector<MessageRecord> messageArena_;
+  std::vector<std::uint32_t> freeMessageSlots_;
+  std::vector<Payload> inputArena_;
+  std::vector<std::uint32_t> freeInputSlots_;
   /// Legacy LinkDisruption windows, converted to one-shot PartitionSpecs
   /// on add and applied through the shared deferral (network_model.h) on
   /// top of whatever the network model scheduled.
@@ -209,6 +230,9 @@ class Simulator {
   std::vector<std::unordered_set<std::uint64_t>> deliveredUids_;
   /// Scratch buffer for NetworkModel::schedule (avoids per-send allocs).
   std::vector<Time> arrivalScratch_;
+  /// Reused per-step effects collector (keeps its vectors' capacity
+  /// across steps instead of reallocating on every send-producing step).
+  Effects effectsScratch_;
   DeliveryHook deliveryHook_;
   OutputHook outputHook_;
   Trace trace_;
