@@ -1,7 +1,6 @@
 #include "etob/causality_graph.h"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "common/ensure.h"
 
@@ -64,21 +63,44 @@ std::vector<MsgId> CausalityGraph::topologicalOrder() const {
 
 std::vector<MsgId> CausalityGraph::extendPromote(
     const std::vector<MsgId>& promote) const {
-  std::unordered_set<MsgId> emitted(promote.begin(), promote.end());
-  WFD_ENSURE_MSG(emitted.size() == promote.size(),
-                 "promote sequence contains duplicates");
+  // Runs once per received update on the eTOB hot path, so it works in
+  // the graph's index space: emitted-ness is a flat flag array indexed by
+  // insertion index, and predecessor checks read the graph's flat
+  // adjacency directly instead of materializing value vectors.
+  std::vector<char> emitted(graph_.nodeCount(), 0);
+  bool anyForeign = false;
+  for (MsgId id : promote) {
+    if (const auto idx = graph_.indexOf(id)) {
+      WFD_ENSURE_MSG(!emitted[*idx], "promote sequence contains duplicates");
+      emitted[*idx] = 1;
+    } else {
+      anyForeign = true;
+    }
+  }
+  if (anyForeign) {
+    // Ids this graph has never seen can't collide with the flag array;
+    // validate uniqueness of the whole sequence the general way.
+    std::vector<MsgId> sorted = promote;
+    std::sort(sorted.begin(), sorted.end());
+    WFD_ENSURE_MSG(
+        std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+        "promote sequence contains duplicates");
+  }
   std::vector<MsgId> out = promote;
   // Walk the full topological order; a message is appended only when its
   // content is known AND all its predecessors were emitted. A blocked
-  // message blocks its causal descendants (they cannot be emitted before
-  // it) but nothing else.
-  std::unordered_set<MsgId> blocked;
-  for (MsgId id : topologicalOrder()) {
-    if (emitted.contains(id)) continue;
+  // message blocks its causal descendants (their predecessor flags stay
+  // unset) but nothing else.
+  const auto order =
+      graph_.topoSortIndices([](MsgId a, MsgId b) { return a < b; });
+  WFD_ENSURE_MSG(order.has_value(), "causality graph must be acyclic");
+  for (std::uint32_t idx : *order) {
+    if (emitted[idx]) continue;
+    const MsgId id = graph_.nodeAt(idx);
     bool ready = bodies_.contains(id);
     if (ready) {
-      for (MsgId pred : graph_.predecessors(id)) {
-        if (!emitted.contains(pred)) {
+      for (std::uint32_t pred : graph_.predIndices(idx)) {
+        if (!emitted[pred]) {
           ready = false;
           break;
         }
@@ -86,9 +108,7 @@ std::vector<MsgId> CausalityGraph::extendPromote(
     }
     if (ready) {
       out.push_back(id);
-      emitted.insert(id);
-    } else {
-      blocked.insert(id);
+      emitted[idx] = 1;
     }
   }
   // Post-condition: out respects every edge of the graph. The prefix does

@@ -207,6 +207,79 @@ TEST(DigraphTest, PredecessorsAndSuccessors) {
   EXPECT_TRUE(g.predecessors(99).empty());
 }
 
+TEST(DigraphTest, NeighbourListsStayInInsertionOrder) {
+  // Edges arriving "out of order" (a later-added predecessor) must still
+  // report neighbours in the predecessors' insertion order.
+  Digraph<int> g;
+  g.addNode(5);
+  g.addNode(7);
+  g.addNode(6);
+  g.addEdge(6, 5);  // pred added after target, larger index
+  g.addEdge(7, 5);
+  EXPECT_EQ(g.predecessors(5), (std::vector<int>{7, 6}));
+  EXPECT_EQ(g.edgeCount(), 2u);
+  EXPECT_FALSE(g.addEdge(6, 5));
+  EXPECT_EQ(g.edgeCount(), 2u);
+}
+
+TEST(DigraphTest, UnionTranslatesDifferingInsertionOrders) {
+  // The same logical graph built in different insertion orders must merge
+  // into an identical edge set (indices are internal).
+  Digraph<int> a, b;
+  a.addNode(10);
+  a.addEdge(20, 30);
+  b.addNode(30);
+  b.addEdge(10, 20);
+  b.addEdge(20, 30);
+  b.addEdge(30, 40);
+  a.unionWith(b);
+  EXPECT_EQ(a.nodeCount(), 4u);
+  EXPECT_EQ(a.edgeCount(), 3u);
+  EXPECT_TRUE(a.hasEdge(10, 20));
+  EXPECT_TRUE(a.hasEdge(20, 30));
+  EXPECT_TRUE(a.hasEdge(30, 40));
+  EXPECT_FALSE(a.hasEdge(10, 30));
+  EXPECT_TRUE(a.reaches(10, 40));
+  // Union is idempotent: merging again adds nothing.
+  a.unionWith(b);
+  EXPECT_EQ(a.nodeCount(), 4u);
+  EXPECT_EQ(a.edgeCount(), 3u);
+}
+
+TEST(DigraphTest, IndexAccessorsMatchValueApi) {
+  Digraph<int> g;
+  g.addEdge(2, 1);
+  g.addEdge(3, 1);
+  ASSERT_TRUE(g.indexOf(1).has_value());
+  ASSERT_FALSE(g.indexOf(99).has_value());
+  const auto i1 = *g.indexOf(1);
+  EXPECT_EQ(g.nodeAt(i1), 1);
+  std::vector<int> preds;
+  for (auto p : g.predIndices(i1)) preds.push_back(g.nodeAt(p));
+  EXPECT_EQ(preds, g.predecessors(1));
+  std::vector<int> succs;
+  for (auto s : g.succIndices(*g.indexOf(2))) succs.push_back(g.nodeAt(s));
+  EXPECT_EQ(succs, g.successors(2));
+}
+
+TEST(DigraphTest, TopoSortIndicesAgreesWithTopoSort) {
+  Digraph<int> g;
+  g.addEdge(4, 2);
+  g.addEdge(4, 3);
+  g.addEdge(2, 1);
+  g.addEdge(3, 1);
+  g.addNode(0);
+  const auto less = [](int a, int b) { return a < b; };
+  const auto byValue = g.topoSort(less);
+  const auto byIndex = g.topoSortIndices(less);
+  ASSERT_TRUE(byValue.has_value());
+  ASSERT_TRUE(byIndex.has_value());
+  std::vector<int> mapped;
+  for (auto i : *byIndex) mapped.push_back(g.nodeAt(i));
+  EXPECT_EQ(mapped, *byValue);
+  EXPECT_EQ(*byValue, (std::vector<int>{0, 4, 2, 3, 1}));
+}
+
 TEST(ValueSeqCodecTest, RoundTrips) {
   std::vector<Value> seq{{1, 2, 3}, {}, {42}};
   EXPECT_EQ(decodeValueSeq(encodeValueSeq(seq)), seq);
