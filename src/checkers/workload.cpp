@@ -19,7 +19,8 @@ BroadcastLog scheduleBroadcastWorkload(Simulator& sim, const BroadcastWorkload& 
       w.crossProcessDeps
           ? sim.config().maxDelay + sim.config().timeoutPeriod
           : std::max<Time>(1, w.interval / std::max<std::size_t>(n, 1));
-  for (ProcessId p = 0; p < n; ++p) {
+  const std::size_t origins = w.writers == 0 ? n : std::min(w.writers, n);
+  for (ProcessId p = 0; p < origins; ++p) {
     for (std::size_t i = 0; i < w.perProcess; ++i) {
       const Time at = w.start + w.interval * i + stagger * p;
       if (pattern.crashTime(p) <= at) continue;  // input would never happen

@@ -27,6 +27,11 @@ struct BroadcastWorkload {
   /// any state machine replica) consumes. Per-message keys, so nothing
   /// is shadowed and every update is applied somewhere.
   bool lwwPutBodies = false;
+  /// 0 = every process broadcasts (the default). Otherwise only the
+  /// first `writers` processes get inputs — the few-writers/many-replicas
+  /// deployment shape, and at big n the knob that keeps per-replica
+  /// state (e.g. gossip LWW tables) independent of the cluster size.
+  std::size_t writers = 0;
 };
 
 /// Schedules the workload into `sim` (skipping processes already crashed

@@ -12,6 +12,28 @@ namespace {
 /// "noise" as a pure function of (seed, p, t).
 constexpr auto mix = splitmix64;
 
+/// Epoch constant for "the value is pinned forever from here on".
+constexpr std::uint64_t kSettledEpoch = 1ULL << 62;
+
+/// Sorted crash times (resp. crash + lag) of the faulty processes.
+std::vector<Time> sortedCrashTimes(const FailurePattern& pattern, Time lag) {
+  std::vector<Time> out;
+  for (ProcessId q = 0; q < pattern.size(); ++q) {
+    const Time ct = pattern.crashTime(q);
+    if (ct != FailurePattern::kNever) out.push_back(ct + lag);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// How many entries of the sorted vector are <= t. Because crash sets
+/// only grow, this count uniquely identifies the crashed/detected SET at
+/// t, which is what the epoch contract needs.
+std::uint64_t countLeq(const std::vector<Time>& sorted, Time t) {
+  return static_cast<std::uint64_t>(
+      std::upper_bound(sorted.begin(), sorted.end(), t) - sorted.begin());
+}
+
 }  // namespace
 
 OmegaFd::OmegaFd(FailurePattern pattern, Time stabilizeAt,
@@ -50,6 +72,16 @@ FdValue OmegaFd::valueAt(ProcessId p, Time t) const {
   return v;
 }
 
+std::uint64_t OmegaFd::epochAt(ProcessId, Time t) const {
+  // Post-stabilization (and kStable throughout) the leader is pinned.
+  // Rotating/split-brain leaders are constant within one rotation block;
+  // pre-tau blocks stay below kSettledEpoch because t < stabilizeAt_.
+  if (t >= stabilizeAt_ || mode_ == OmegaPreStabilization::kStable) {
+    return kSettledEpoch;
+  }
+  return static_cast<std::uint64_t>(t / rotationPeriod_);
+}
+
 std::string OmegaFd::name() const {
   return "Omega(tau=" + std::to_string(stabilizeAt_) + ")";
 }
@@ -68,12 +100,18 @@ FdValue SigmaFd::valueAt(ProcessId p, Time t) const {
   return v;
 }
 
+std::uint64_t SigmaFd::epochAt(ProcessId, Time t) const {
+  return t >= stabilizeAt_ ? 1 : 0;
+}
+
 std::string SigmaFd::name() const {
   return "Sigma(tau=" + std::to_string(stabilizeAt_) + ")";
 }
 
 PerfectFd::PerfectFd(FailurePattern pattern, Time detectionLag)
-    : pattern_(std::move(pattern)), lag_(detectionLag) {}
+    : pattern_(std::move(pattern)),
+      lag_(detectionLag),
+      detectAt_(sortedCrashTimes(pattern_, lag_)) {}
 
 FdValue PerfectFd::valueAt(ProcessId p, Time t) const {
   WFD_ENSURE(p < pattern_.size());
@@ -85,11 +123,18 @@ FdValue PerfectFd::valueAt(ProcessId p, Time t) const {
   return v;
 }
 
+std::uint64_t PerfectFd::epochAt(ProcessId, Time t) const {
+  return countLeq(detectAt_, t);
+}
+
 std::string PerfectFd::name() const { return "P(lag=" + std::to_string(lag_) + ")"; }
 
 EventuallyPerfectFd::EventuallyPerfectFd(FailurePattern pattern, Time stabilizeAt,
                                          std::uint64_t seed)
-    : pattern_(std::move(pattern)), stabilizeAt_(stabilizeAt), seed_(seed) {}
+    : pattern_(std::move(pattern)),
+      stabilizeAt_(stabilizeAt),
+      seed_(seed),
+      crashTimes_(sortedCrashTimes(pattern_, 0)) {}
 
 FdValue EventuallyPerfectFd::valueAt(ProcessId p, Time t) const {
   WFD_ENSURE(p < pattern_.size());
@@ -111,6 +156,14 @@ FdValue EventuallyPerfectFd::valueAt(ProcessId p, Time t) const {
   return v;
 }
 
+std::uint64_t EventuallyPerfectFd::epochAt(ProcessId, Time t) const {
+  const std::uint64_t crashed = countLeq(crashTimes_, t);
+  if (t >= stabilizeAt_) return kSettledEpoch + crashed;
+  // Pre-tau the value is a function of (p, t / 64, crashed set); fold
+  // the window and the crash count injectively (crashed <= n).
+  return (t / 64) * (pattern_.size() + 1) + crashed;
+}
+
 std::string EventuallyPerfectFd::name() const {
   return "<>P(tau=" + std::to_string(stabilizeAt_) + ")";
 }
@@ -125,6 +178,11 @@ FdValue OmegaSigmaFd::valueAt(ProcessId p, Time t) const {
   FdValue v = omega_->valueAt(p, t);
   v.quorum = sigma_->valueAt(p, t).quorum;
   return v;
+}
+
+std::uint64_t OmegaSigmaFd::epochAt(ProcessId p, Time t) const {
+  // Sigma's epoch is 0/1, so this fold is injective in the pair.
+  return omega_->epochAt(p, t) * 2 + sigma_->epochAt(p, t);
 }
 
 std::string OmegaSigmaFd::name() const {
@@ -157,6 +215,11 @@ FdValue OmegaFromEventuallyPerfect::valueAt(ProcessId p, Time t) const {
     }
   }
   return v;
+}
+
+std::uint64_t OmegaFromEventuallyPerfect::epochAt(ProcessId p, Time t) const {
+  // A pure function of the inner sample, so the inner epoch carries over.
+  return inner_->epochAt(p, t);
 }
 
 std::string OmegaFromEventuallyPerfect::name() const {

@@ -41,6 +41,7 @@ class OmegaFd final : public FailureDetector {
           Time rotationPeriod = 97, ProcessId leader = kNoProcess);
 
   FdValue valueAt(ProcessId p, Time t) const override;
+  std::uint64_t epochAt(ProcessId p, Time t) const override;
   std::string name() const override;
 
   Time stabilizeAt() const { return stabilizeAt_; }
@@ -64,6 +65,7 @@ class SigmaFd final : public FailureDetector {
   SigmaFd(FailurePattern pattern, Time stabilizeAt);
 
   FdValue valueAt(ProcessId p, Time t) const override;
+  std::uint64_t epochAt(ProcessId p, Time t) const override;
   std::string name() const override;
 
  private:
@@ -80,11 +82,16 @@ class PerfectFd final : public FailureDetector {
   PerfectFd(FailurePattern pattern, Time detectionLag = 0);
 
   FdValue valueAt(ProcessId p, Time t) const override;
+  std::uint64_t epochAt(ProcessId p, Time t) const override;
   std::string name() const override;
 
  private:
   FailurePattern pattern_;
   Time lag_;
+  /// Sorted detection times (crashTime + lag of every faulty process):
+  /// the suspect set at t is exactly the processes whose detection time
+  /// is <= t, so its cardinality — one upper_bound — identifies it.
+  std::vector<Time> detectAt_;
 };
 
 /// The eventually perfect failure detector ◊P: before `stabilizeAt` it may
@@ -96,12 +103,15 @@ class EventuallyPerfectFd final : public FailureDetector {
                       std::uint64_t seed = 7);
 
   FdValue valueAt(ProcessId p, Time t) const override;
+  std::uint64_t epochAt(ProcessId p, Time t) const override;
   std::string name() const override;
 
  private:
   FailurePattern pattern_;
   Time stabilizeAt_;
   std::uint64_t seed_;
+  /// Sorted crash times of the faulty processes (epoch computation).
+  std::vector<Time> crashTimes_;
 };
 
 /// The composite Omega + Sigma — the weakest failure detector for strong
@@ -112,6 +122,7 @@ class OmegaSigmaFd final : public FailureDetector {
                std::shared_ptr<const SigmaFd> sigma);
 
   FdValue valueAt(ProcessId p, Time t) const override;
+  std::uint64_t epochAt(ProcessId p, Time t) const override;
   std::string name() const override;
 
  private:
@@ -143,6 +154,7 @@ class OmegaFromEventuallyPerfect final : public FailureDetector {
       std::shared_ptr<const EventuallyPerfectFd> inner, std::size_t processCount);
 
   FdValue valueAt(ProcessId p, Time t) const override;
+  std::uint64_t epochAt(ProcessId p, Time t) const override;
   std::string name() const override;
 
  private:

@@ -389,6 +389,100 @@ std::vector<Scenario> buildCatalog() {
     catalog.push_back(std::move(s));
   }
 
+  // ---- Large clusters (n = 64..256) ----
+  //
+  // The big-n family exercises the scale-oriented data paths (slim event
+  // heap, indexed partitions, FD epoch caches) at deployment-like sizes.
+  // These entries are EXCLUDED from the exhaustive per-entry sweeps in
+  // tests/test_scenarios.cpp and tests/test_api.cpp (each catalog entry
+  // runs ~10x across suites and again under ASan/TSan, which big-n runs
+  // cannot afford); tests/test_large_cluster.cpp covers them once per
+  // build instead. The isLargeClusterScenario() predicate is the single
+  // switch both sides use.
+  {
+    Scenario s;
+    s.name = "large-cluster-leader-256";
+    s.description =
+        "n=256, Algorithm 4 (EC from Omega) under a single stable leader: "
+        "every process proposes 40 instances and all 256 decision "
+        "histories must agree from instance 1 — the interactive-scale "
+        "acceptance shape (full horizon in seconds, not minutes).";
+    s.config = baseConfig(256, 20000);
+    s.tauOmega = 0;
+    s.omegaMode = OmegaPreStabilization::kStable;
+    s.stack = AlgoStack::kOmegaEc;
+    s.ecInstances = 40;
+    s.checks.ec = true;
+    catalog.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "large-cluster-cascade-64";
+    s.description =
+        "n=64, a rolling majority-crash cascade: 33 processes crash 50 "
+        "ticks apart from t=1200 under a rotating Omega that stabilizes "
+        "only after the cascade (t=3200); the surviving minority keeps "
+        "delivering on Omega alone (the Sigma gap at scale).";
+    s.config = baseConfig(64, 12000);
+    s.pattern = [](std::size_t n) {
+      return Environments::staggeredCrashes(n, n / 2 + 1, 1200, 50);
+    };
+    s.tauOmega = 3200;
+    s.omegaMode = OmegaPreStabilization::kRotating;
+    s.workload = standardWorkload(100, 2);
+    s.checks = etobChecks();
+    catalog.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "large-cluster-partitions-64";
+    s.description =
+        "n=64, two OVERLAPPING recurring partitions expressed through the "
+        "flat component index (half/half every 900 ticks, a 16-process "
+        "segment every 1100): deferrals chain across windows and the "
+        "sequences re-converge in every common gap.";
+    s.config = baseConfig(64, 8000);
+    s.tauOmega = 800;
+    s.workload = standardWorkload(100, 3);
+    s.network = [](const SimConfig& cfg) -> std::shared_ptr<const NetworkModel> {
+      PartitionSpec halves;
+      halves.start = 400;
+      halves.width = 300;
+      halves.period = 900;
+      halves.componentOf = PartitionSpec::splitAt(cfg.processCount,
+                                                  cfg.processCount / 2);
+      PartitionSpec segment;
+      segment.start = 700;
+      segment.width = 200;
+      segment.period = 1100;
+      segment.componentOf = PartitionSpec::splitAt(cfg.processCount, 16);
+      return std::make_shared<PartitionModel>(
+          uniformOf(cfg), std::vector<PartitionSpec>{halves, segment});
+    };
+    s.checks = etobChecks();
+    catalog.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "large-cluster-gossip-128";
+    s.description =
+        "n=128, the gossip/LWW strawman at scale in the few-writers/"
+        "many-replicas shape: 16 writers each issue one LWW put, then "
+        "full-table anti-entropy until all 128 replicas hold identical "
+        "tables (the writer cap is deliberate — gossip pays n^2 table "
+        "merges per round, so table size must not also grow with n).";
+    s.config = baseConfig(128, 1200);
+    s.detector = [](const FailurePattern& fp) {
+      return std::make_shared<PerfectFd>(fp);
+    };
+    s.stack = AlgoStack::kGossipLww;
+    s.workload = standardWorkload(100, 1);
+    s.workload.lwwPutBodies = true;
+    s.workload.writers = 16;
+    s.checks.gossipConvergence = true;
+    catalog.push_back(std::move(s));
+  }
+
   // Catalog invariant: names are unique (the registry is looked up by name).
   for (std::size_t i = 0; i < catalog.size(); ++i) {
     for (std::size_t j = i + 1; j < catalog.size(); ++j) {

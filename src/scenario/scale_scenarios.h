@@ -111,8 +111,7 @@ inline Scenario scalePartitionScenario(std::size_t n, Time maxTime = 6000) {
   s.workload.start = 100;
   s.workload.interval = 50;
   s.workload.perProcess = 3;
-  const ProcessId half = static_cast<ProcessId>(n / 2);
-  s.network = [half](const SimConfig& cfg)
+  s.network = [n](const SimConfig& cfg)
       -> std::shared_ptr<const NetworkModel> {
     auto uniform = std::make_shared<UniformDelayModel>(
         cfg.minDelay, cfg.maxDelay, cfg.fixedDelay);
@@ -120,9 +119,10 @@ inline Scenario scalePartitionScenario(std::size_t n, Time maxTime = 6000) {
     spec.start = 400;
     spec.width = 300;
     spec.period = 900;
-    spec.affects = [half](ProcessId from, ProcessId to) {
-      return (from < half) != (to < half);
-    };
+    // Indexed form of the half/half cut: same link set as the former
+    // (from < n/2) != (to < n/2) predicate, so the pinned digests double
+    // as an index-vs-predicate equivalence check.
+    spec.componentOf = PartitionSpec::splitAt(n, n / 2);
     return std::make_shared<PartitionModel>(
         uniform, std::vector<PartitionSpec>{spec});
   };

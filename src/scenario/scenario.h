@@ -160,4 +160,13 @@ const std::vector<Scenario>& scenarioCatalog();
 /// Catalog lookup; nullptr when the name is unknown.
 const Scenario* findScenario(const std::string& name);
 
+/// True for the big-n (n = 64..256) catalog family. The exhaustive
+/// per-entry sweeps (tests/test_scenarios.cpp, tests/test_api.cpp) skip
+/// these — each sweep entry runs ~10x per build and again under
+/// ASan/TSan — and tests/test_large_cluster.cpp covers them once per
+/// build instead. Keep the two sides in sync through this predicate.
+inline bool isLargeClusterScenario(const Scenario& s) {
+  return s.name.rfind("large-cluster-", 0) == 0;
+}
+
 }  // namespace wfd

@@ -28,6 +28,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -71,6 +72,21 @@ class FailureDetector {
 
   /// The value output by p's module at time t, i.e. H(p, t).
   virtual FdValue valueAt(ProcessId p, Time t) const = 0;
+
+  /// Change-epoch of H(p, ·): the contract is
+  ///   epochAt(p, t1) == epochAt(p, t2)  =>  valueAt(p, t1) == valueAt(p, t2).
+  /// The simulator queries the (cheap) epoch on every step and only
+  /// recomputes the (possibly O(n)) value when the epoch moved, making FD
+  /// history queries amortized O(1) on the hot path — detector values
+  /// change a handful of times per run while steps number in the
+  /// millions at n=256. The default maps every tick to its own epoch:
+  /// always correct, never caches. Overrides must be conservative —
+  /// returning distinct epochs for equal values only costs speed, while
+  /// equal epochs for distinct values would silently corrupt runs.
+  virtual std::uint64_t epochAt(ProcessId p, Time t) const {
+    (void)p;
+    return static_cast<std::uint64_t>(t);
+  }
 
   /// Human-readable detector name, for diagnostics and bench tables.
   virtual std::string name() const = 0;

@@ -65,7 +65,7 @@ namespace {
 
 /// Deferral point of `at` under one spec; `at` itself if outside windows.
 Time deferOnce(const PartitionSpec& s, ProcessId from, ProcessId to, Time at) {
-  if (s.affects && !s.affects(from, to)) return at;
+  if (!s.cuts(from, to)) return at;
   if (s.period == 0) {
     return (at >= s.start && at < s.start + s.width) ? s.start + s.width : at;
   }

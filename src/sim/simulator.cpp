@@ -15,6 +15,7 @@ Simulator::Simulator(SimConfig config, FailurePattern pattern,
       network_(std::move(network)),
       rng_(config.seed),
       automata_(config.processCount),
+      fdCache_(config.processCount),
       trace_(config.processCount, config.keepDeliverySnapshots) {
   WFD_ENSURE(config_.processCount >= 2);
   WFD_ENSURE(pattern_.size() == config_.processCount);
@@ -249,11 +250,18 @@ bool Simulator::processOne() {
     if (pattern_.crashed(p, now_)) return true;
   }
 
-  StepContext ctx;
+  StepContext& ctx = ctxScratch_;
   ctx.now = now_;
   ctx.self = p;
   ctx.processCount = automata_.size();
-  ctx.fd = detector_->valueAt(p, now_);
+  FdCacheEntry& fdCache = fdCache_[p];
+  const std::uint64_t epoch = detector_->epochAt(p, now_);
+  if (!fdCache.valid || fdCache.epoch != epoch) {
+    fdCache.value = detector_->valueAt(p, now_);
+    fdCache.epoch = epoch;
+    fdCache.valid = true;
+  }
+  ctx.fd = fdCache.value;
 
   Effects& fx = effectsScratch_;
   fx.clear();
@@ -314,6 +322,8 @@ void Simulator::setCrash(ProcessId p, Time t) {
 void Simulator::setDetector(std::shared_ptr<const FailureDetector> detector) {
   WFD_ENSURE(detector != nullptr);
   detector_ = std::move(detector);
+  // Epochs of different detectors are incomparable.
+  for (FdCacheEntry& e : fdCache_) e.valid = false;
 }
 
 bool Simulator::runUntil(const std::function<bool(const Simulator&)>& pred,

@@ -233,6 +233,19 @@ class Simulator {
   /// Reused per-step effects collector (keeps its vectors' capacity
   /// across steps instead of reallocating on every send-producing step).
   Effects effectsScratch_;
+  /// Per-process FD value cache keyed by the detector's change-epoch
+  /// (FailureDetector::epochAt): the value is recomputed only when the
+  /// epoch moved, so FD history queries are amortized O(1) per step.
+  /// Invalidated wholesale by setDetector.
+  struct FdCacheEntry {
+    std::uint64_t epoch = 0;
+    bool valid = false;
+    FdValue value;
+  };
+  std::vector<FdCacheEntry> fdCache_;
+  /// Reused per-step context: copy-assigning the cached FdValue into it
+  /// reuses the quorum/suspects vector capacity instead of allocating.
+  StepContext ctxScratch_;
   DeliveryHook deliveryHook_;
   OutputHook outputHook_;
   Trace trace_;

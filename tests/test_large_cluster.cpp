@@ -134,5 +134,46 @@ TEST(LargeClusterSmokeTest, N64PartitionShapePasses) {
   EXPECT_TRUE(r.pass) << (r.failures.empty() ? "" : r.failures.front());
 }
 
+// --- The large-cluster catalog family ---------------------------------------
+//
+// These entries are excluded from the exhaustive sweeps in
+// tests/test_scenarios.cpp and tests/test_api.cpp (see
+// isLargeClusterScenario); this suite is their single per-build coverage:
+// each entry runs once through the same facade path the sweeps use, and
+// one entry double-runs as the determinism spot check.
+
+TEST(LargeClusterCatalogTest, FamilyIsRegisteredAndMarked) {
+  std::size_t large = 0;
+  for (const Scenario& s : scenarioCatalog()) {
+    if (isLargeClusterScenario(s)) {
+      ++large;
+      EXPECT_GE(s.config.processCount, 64u) << s.name;
+    }
+  }
+  EXPECT_GE(large, 4u);
+  ASSERT_NE(findScenario("large-cluster-leader-256"), nullptr);
+  EXPECT_EQ(findScenario("large-cluster-leader-256")->config.processCount,
+            256u);
+}
+
+TEST(LargeClusterCatalogTest, EveryFamilyEntryPassesItsCheckerSet) {
+  for (const Scenario& s : scenarioCatalog()) {
+    if (!isLargeClusterScenario(s)) continue;
+    const ScenarioRunResult r = runScenario(s, 1);
+    EXPECT_TRUE(r.pass)
+        << s.name << (r.failures.empty() ? "" : ": " + r.failures.front());
+    EXPECT_GT(r.eventsProcessed, 0u) << s.name;
+  }
+}
+
+TEST(LargeClusterCatalogTest, Leader256IsDeterministic) {
+  const Scenario* s = findScenario("large-cluster-leader-256");
+  ASSERT_NE(s, nullptr);
+  const ScenarioRunResult a = runScenario(*s, 7);
+  const ScenarioRunResult b = runScenario(*s, 7);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.eventsProcessed, b.eventsProcessed);
+}
+
 }  // namespace
 }  // namespace wfd
