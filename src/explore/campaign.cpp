@@ -462,7 +462,8 @@ std::vector<FuzzPlan> scheduleGeneration(const CampaignReport& sofar,
     std::optional<FuzzPlan> mutated = mutateFuzzPlan(parent, mseed);
     out.push_back(mutated ? std::move(*mutated)
                           : sampleFuzzPlan(options.stack, options.seed,
-                                           (*nextSampleIndex)++));
+                                           (*nextSampleIndex)++,
+                                           options.bigClusterMaxN));
   }
   return out;
 }
@@ -482,7 +483,8 @@ CampaignReport runCampaign(const CampaignOptions& options,
     if (gen == 0) {
       plans.reserve(options.runs);
       for (std::uint64_t i = 0; i < options.runs; ++i) {
-        plans.push_back(sampleFuzzPlan(options.stack, options.seed, i));
+        plans.push_back(sampleFuzzPlan(options.stack, options.seed, i,
+                                       options.bigClusterMaxN));
       }
     } else {
       plans = scheduleGeneration(report, options, gen, mutationBudget,

@@ -113,6 +113,10 @@ struct CampaignOptions {
   std::uint64_t generations = 2;
   /// Mutation budget per generation > 0; 0 derives runs / 4.
   std::uint64_t mutationsPerGeneration = 0;
+  /// Opt-in big-cluster genome for generation 0 and refill sampling
+  /// (sampleFuzzPlan's bigClusterMaxN). 0 = legacy plan stream,
+  /// byte-identical to prior builds.
+  std::size_t bigClusterMaxN = 0;
 };
 
 /// One executed campaign run, addressed by (generation, index) — the

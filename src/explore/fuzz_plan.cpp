@@ -53,11 +53,26 @@ std::uint64_t derivePlanSeed(std::uint64_t masterSeed, AlgoStack stack,
 }
 
 FuzzPlan sampleFuzzPlan(AlgoStack stack, std::uint64_t masterSeed,
-                        std::uint64_t runIndex) {
+                        std::uint64_t runIndex, std::size_t bigClusterMaxN) {
   Rng rng(derivePlanSeed(masterSeed, stack, runIndex));
   FuzzPlan plan;
   plan.stack = stack;
-  plan.processCount = rng.between(3, 6);
+  // The big-cluster branch draws ONLY when opted in, so bigClusterMaxN
+  // == 0 reproduces the legacy plan stream byte-for-byte (pinned by
+  // test_explore / test_campaign determinism suites and the CI diff).
+  bool big = false;
+  if (bigClusterMaxN > 6) {
+    big = rng.chance(1, 4);
+    if (big) {
+      // omega-ec stays cheap at any n; the broadcast/gossip stacks pay
+      // protocol-inherent O(n^2)-per-round costs, so their fuzz
+      // envelope caps at the n=64 smoke scale.
+      const std::size_t cap = std::min<std::size_t>(
+          bigClusterMaxN, stack == AlgoStack::kOmegaEc ? 256 : 64);
+      plan.processCount = rng.between(16, std::max<std::size_t>(cap, 16));
+    }
+  }
+  if (!big) plan.processCount = rng.between(3, 6);
   plan.simSeed = rng.engine()();
   const std::size_t n = plan.processCount;
 
@@ -169,6 +184,14 @@ FuzzPlan sampleFuzzPlan(AlgoStack stack, std::uint64_t masterSeed,
     plan.workload.causalChain = rng.chance(1, 3);
     plan.workload.crossDeps = rng.chance(1, 4);
   }
+  if (big) {
+    // Few writers, many replicas: the interesting big-n behavior is in
+    // dissemination and quorum shape, not in the input volume — and an
+    // all-write workload at n=64 would make every sampled plan cost
+    // seconds instead of tens of milliseconds.
+    plan.workload.writers = rng.between(2, 8);
+    plan.workload.perProcess = rng.between(1, 3);
+  }
   plan.maxTime = planHorizon(plan);
   WFD_ENSURE_MSG(planAdmissibilityViolations(plan).empty(),
                  "sampler produced an inadmissible plan");
@@ -240,7 +263,14 @@ std::vector<std::string> planAdmissibilityViolations(const FuzzPlan& plan) {
   // silently truncated into a spurious liveness violation.
   constexpr Time kMaxEventTime = 1'000'000;
 
-  if (n < 2 || n > 12) bad("processCount must be in [2, 12]");
+  // The big-cluster genome widened the envelope from the original
+  // [2, 12]: omega-ec runs are near-linear in n, the broadcast/gossip
+  // stacks pay O(n^2) per round and cap at the n=64 smoke scale.
+  const std::size_t maxN = plan.stack == AlgoStack::kOmegaEc ? 256 : 64;
+  if (n < 2 || n > maxN) {
+    bad("processCount must be in [2, " + std::to_string(maxN) +
+        "] for this stack");
+  }
   if (plan.timeoutPeriod < 1 || plan.timeoutPeriod > 1000) {
     bad("timeoutPeriod must be in [1, 1000]");
   }
@@ -324,6 +354,9 @@ std::vector<std::string> planAdmissibilityViolations(const FuzzPlan& plan) {
   if (plan.workload.perProcess > 10'000) {
     bad("workload perProcess must be <= 1e4");
   }
+  if (plan.workload.writers > n) {
+    bad("workload writers must be <= processCount (0 = all write)");
+  }
   if (plan.stack != AlgoStack::kOmegaEc && plan.workload.perProcess < 1) {
     bad("broadcast stacks need at least one message per process");
   }
@@ -388,6 +421,7 @@ Scenario planScenario(const FuzzPlan& plan) {
   s.workload.causalChainPerOrigin = plan.workload.causalChain;
   s.workload.crossProcessDeps = plan.workload.crossDeps;
   s.workload.lwwPutBodies = plan.stack == AlgoStack::kGossipLww;
+  s.workload.writers = plan.workload.writers;
   s.ecInstances = plan.ecInstances;
 
   // Spec oracle: exactly the clauses that are theorems for EVERY

@@ -76,6 +76,10 @@ struct PlanWorkload {
   std::size_t perProcess = 4;
   bool causalChain = false;
   bool crossDeps = false;
+  /// 0 = every process broadcasts; otherwise only the first `writers`
+  /// do (BroadcastWorkload::writers). The big-cluster sampler sets this
+  /// so a 64-process plan's message volume stays O(writers), not O(n).
+  std::size_t writers = 0;
 };
 
 /// A complete sampled run description. (plan) fully determines the run:
@@ -125,8 +129,17 @@ std::uint64_t derivePlanSeed(std::uint64_t masterSeed, AlgoStack stack,
 
 /// Samples one admissible plan for the stack from the derived seed.
 /// Postcondition: planAdmissibilityViolations(plan).empty().
+///
+/// `bigClusterMaxN` opts the sampler into the big-cluster genome: 0
+/// (the default) draws nothing extra, so the legacy plan stream is
+/// byte-identical. When > 6, one plan in four is sampled at deployment
+/// scale — processCount in [16, min(bigClusterMaxN, cap)] where the cap
+/// is 256 for omega-ec and 64 for the broadcast/gossip stacks (whose
+/// per-run cost is protocol-inherent in n), with the workload capped to
+/// a few writers so message volume stays O(writers).
 FuzzPlan sampleFuzzPlan(AlgoStack stack, std::uint64_t masterSeed,
-                        std::uint64_t runIndex);
+                        std::uint64_t runIndex,
+                        std::size_t bigClusterMaxN = 0);
 
 /// The horizon the sampler assigns: last scheduled disturbance (workload
 /// end, crashes, tau_Omega, partition windows) plus a settle margin

@@ -211,6 +211,11 @@ Json encodeFuzzPlan(const FuzzPlan& plan) {
   workload.set("per_process", Json::number(plan.workload.perProcess));
   workload.set("causal_chain", Json::boolean(plan.workload.causalChain));
   workload.set("cross_deps", Json::boolean(plan.workload.crossDeps));
+  // Only emitted when set, so legacy (all-write) plans keep their exact
+  // pre-big-cluster encoding — and therefore their fingerprints.
+  if (plan.workload.writers > 0) {
+    workload.set("writers", Json::number(plan.workload.writers));
+  }
   j.set("workload", std::move(workload));
 
   if (plan.ecInstances > 0) j.set("ec_instances", Json::number(plan.ecInstances));
@@ -363,20 +368,23 @@ std::optional<FuzzPlan> decodeFuzzPlan(const Json& j, std::string* error) {
   if (const Json* workload = r.objectField("workload")) {
     if (!onlyKnownKeys(*workload,
                        {"start", "interval", "per_process", "causal_chain",
-                        "cross_deps"},
+                        "cross_deps", "writers"},
                        "workload", error)) {
       return std::nullopt;
     }
     Reader wr(*workload, error);
     std::uint64_t per = 0;
+    std::uint64_t writers = 0;
     if (!wr.uintField("start", &plan.workload.start) ||
         !wr.uintField("interval", &plan.workload.interval) ||
         !wr.uintField("per_process", &per) ||
         !wr.boolField("causal_chain", &plan.workload.causalChain) ||
-        !wr.boolField("cross_deps", &plan.workload.crossDeps)) {
+        !wr.boolField("cross_deps", &plan.workload.crossDeps) ||
+        !wr.uintField("writers", &writers, /*required=*/false)) {
       return std::nullopt;
     }
     plan.workload.perProcess = static_cast<std::size_t>(per);
+    plan.workload.writers = static_cast<std::size_t>(writers);
   } else {
     if (error != nullptr && !error->empty()) return std::nullopt;
     r.fail("workload", "missing");

@@ -63,6 +63,31 @@ TEST(CampaignTest, ReportIsByteIdenticalAcrossJobs) {
   }
 }
 
+TEST(CampaignTest, BigClusterCampaignIsByteIdenticalAcrossJobs) {
+  // The big-n genome rides the same determinism contract: with
+  // bigClusterMaxN set, generation 0 mixes deployment-scale plans into
+  // the stream and the report must still be a pure function of the
+  // options for any thread count (the CI --jobs 4 vs --jobs 1 diff).
+  CampaignOptions options;
+  options.stack = AlgoStack::kOmegaEc;  // cheap at big n
+  options.runs = 10;
+  options.seed = 5;
+  options.jobs = 1;
+  options.bigClusterMaxN = 64;
+  const CampaignReport base = runCampaign(options);
+  const std::string baseBytes = reportBytes(options.stack, base);
+
+  bool sawBig = false;
+  for (const CampaignRunRecord& rec : base.runs) {
+    sawBig |= rec.plan.processCount >= 16;
+  }
+  EXPECT_TRUE(sawBig) << "window never scheduled a big plan";
+
+  options.jobs = 4;
+  const CampaignReport r = runCampaign(options);
+  EXPECT_EQ(reportBytes(options.stack, r), baseBytes);
+}
+
 TEST(CampaignTest, ViolationsAndCorpusEntriesIdenticalAcrossJobs) {
   // strict-tob on the eTOB stack violates by design pre-stabilization —
   // the jobs sweep must agree on every witness AND on the exit-status

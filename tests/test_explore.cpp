@@ -76,6 +76,71 @@ TEST(FuzzSamplerTest, SamplerCoversTheGenomeSpace) {
   EXPECT_EQ(modes.size(), 3u);
 }
 
+TEST(FuzzSamplerTest, BigClusterGenomeIsOptIn) {
+  // bigClusterMaxN == 0 (and the 3-arg form) must reproduce the legacy
+  // small-n plan stream exactly: n stays in [3, 6], no writer cap, and
+  // the explicit-0 call is fingerprint-identical — the property the
+  // campaign byte-identity CI diff rests on.
+  for (AlgoStack stack : kStacks) {
+    for (std::uint64_t i = 0; i < 40; ++i) {
+      const FuzzPlan legacy = sampleFuzzPlan(stack, 9, i);
+      EXPECT_GE(legacy.processCount, 3u);
+      EXPECT_LE(legacy.processCount, 6u);
+      EXPECT_EQ(legacy.workload.writers, 0u);
+      EXPECT_EQ(planFingerprint(legacy),
+                planFingerprint(sampleFuzzPlan(stack, 9, i, 0)));
+    }
+  }
+}
+
+TEST(FuzzSamplerTest, BigClusterGenomeSamplesBigAndSmallAdmissiblePlans) {
+  // With the genome opted in, the stream must mix deployment-scale
+  // plans (with the few-writers workload cap that keeps them cheap)
+  // with the legacy small shapes, all admissible, with per-stack caps:
+  // 256 for omega-ec, 64 for the O(n^2)-per-round stacks.
+  for (AlgoStack stack : kStacks) {
+    bool sawBig = false;
+    bool sawSmall = false;
+    for (std::uint64_t i = 0; i < 80; ++i) {
+      const FuzzPlan p = sampleFuzzPlan(stack, 7, i, 256);
+      const auto violations = planAdmissibilityViolations(p);
+      EXPECT_TRUE(violations.empty())
+          << algoStackName(stack) << " run " << i << ": "
+          << violations.front();
+      EXPECT_LE(p.processCount,
+                stack == AlgoStack::kOmegaEc ? 256u : 64u);
+      if (p.processCount >= 16) {
+        sawBig = true;
+        EXPECT_GE(p.workload.writers, 2u) << algoStackName(stack);
+        EXPECT_LE(p.workload.writers, 8u) << algoStackName(stack);
+        EXPECT_LE(p.workload.perProcess, 3u) << algoStackName(stack);
+      } else {
+        sawSmall = true;
+        EXPECT_EQ(p.workload.writers, 0u);
+      }
+    }
+    EXPECT_TRUE(sawBig) << algoStackName(stack);
+    EXPECT_TRUE(sawSmall) << algoStackName(stack);
+  }
+}
+
+TEST(FuzzSamplerTest, BigClusterPlansRunAndSatisfyTheSpecOracle) {
+  // One sampled big plan per price class actually runs its full horizon
+  // green: omega-ec at its 256 cap, a broadcast stack at its 64 cap.
+  for (AlgoStack stack : {AlgoStack::kOmegaEc, AlgoStack::kEtob}) {
+    for (std::uint64_t i = 0;; ++i) {
+      ASSERT_LT(i, 100u) << "no big plan in the first 100 samples";
+      const FuzzPlan p = sampleFuzzPlan(stack, 7, i, 256);
+      if (p.processCount < 16) continue;
+      const ScenarioRunResult r = runScenario(planScenario(p), p.simSeed);
+      EXPECT_TRUE(r.pass)
+          << algoStackName(stack) << " n=" << p.processCount << ": "
+          << (r.failures.empty() ? "?" : r.failures.front());
+      break;
+    }
+  }
+}
+
 TEST(FuzzSamplerTest, TobPlansKeepACorrectMajority) {
   for (std::uint64_t i = 0; i < 100; ++i) {
     const FuzzPlan p = sampleFuzzPlan(AlgoStack::kTobViaConsensus, 11, i);

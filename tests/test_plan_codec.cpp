@@ -76,6 +76,41 @@ TEST(PlanCodecTest, SampledPlansRoundTripCanonically) {
   }
 }
 
+TEST(PlanCodecTest, BigClusterPlansRoundTripAndLegacyEncodingIsStable) {
+  // Big-genome plans (writer-capped workloads, n up to 256) round trip
+  // through the canonical encoding; legacy all-write plans must NOT
+  // grow a "writers" key — their encodings (and thus fingerprints and
+  // the committed corpus) predate the field.
+  bool sawWriters = false;
+  for (std::uint64_t i = 0; i < 40 && !sawWriters; ++i) {
+    const FuzzPlan plan = sampleFuzzPlan(AlgoStack::kOmegaEc, 99, i, 256);
+    const std::string dump = encodeFuzzPlan(plan).dump();
+    std::string error;
+    std::optional<FuzzPlan> decoded =
+        decodeFuzzPlan(*Json::parse(dump, &error), &error);
+    ASSERT_TRUE(decoded.has_value()) << error;
+    EXPECT_EQ(encodeFuzzPlan(*decoded).dump(), dump);
+    EXPECT_EQ(planFingerprint(*decoded), planFingerprint(plan));
+    if (plan.workload.writers > 0) {
+      sawWriters = true;
+      EXPECT_NE(dump.find("\"writers\""), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(sawWriters) << "window never sampled a big plan";
+
+  const FuzzPlan legacy = sampleFuzzPlan(AlgoStack::kEtob, 99, 0);
+  EXPECT_EQ(encodeFuzzPlan(legacy).dump().find("\"writers\""),
+            std::string::npos);
+}
+
+TEST(PlanCodecTest, RejectsMoreWritersThanProcesses) {
+  FuzzPlan plan = sampleFuzzPlan(AlgoStack::kEtob, 1, 0);
+  plan.workload.writers = plan.processCount + 1;
+  std::string error;
+  EXPECT_FALSE(decodeFuzzPlan(encodeFuzzPlan(plan), &error).has_value());
+  EXPECT_NE(error.find("writers"), std::string::npos);
+}
+
 TEST(PlanCodecTest, RejectsUnknownSchemaStackAndMode) {
   const FuzzPlan plan = sampleFuzzPlan(AlgoStack::kEtob, 1, 0);
   std::string error;

@@ -60,7 +60,8 @@ void usage(const char* argv0) {
       "usage: %s --stack <name|all> [--runs N] [--seed S]\n"
       "       [--oracle spec|strict-tob] [--no-shrink] [--time-budget SEC]\n"
       "       [--corpus-dir DIR]\n"
-      "       [--campaign [--jobs N] [--generations N] [--mutations N]]\n"
+      "       [--campaign [--jobs N] [--generations N] [--mutations N]\n"
+      "                    [--big-cluster-max-n N]]\n"
       "       %s --replay <plan-or-corpus.json | corpus-dir>\n"
       "       %s --list-stacks\n",
       argv0, argv0, argv0);
@@ -94,6 +95,7 @@ int main(int argc, char** argv) {
   std::uint64_t jobs = 1;
   std::uint64_t generations = 2;
   std::uint64_t mutations = 0;  // 0 = campaign default (runs / 4)
+  std::uint64_t bigClusterMaxN = 0;  // 0 = legacy small-n genome only
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -134,6 +136,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--mutations") {
       mutations = parseU64("--mutations", next());
+    } else if (arg == "--big-cluster-max-n") {
+      bigClusterMaxN = parseU64("--big-cluster-max-n", next());
     } else if (arg == "--time-budget") {
       timeBudgetSec = parseU64("--time-budget", next());
     } else if (arg == "--corpus-dir") {
@@ -164,6 +168,12 @@ int main(int argc, char** argv) {
   // meaning, so requesting threads without --campaign is a usage error.
   if (jobs > 1 && !campaign) {
     std::fprintf(stderr, "--jobs requires --campaign\n");
+    return 2;
+  }
+  // Same reasoning as --jobs: the plain explore path is the pinned
+  // byte-identity baseline, so the big-cluster genome is campaign-only.
+  if (bigClusterMaxN != 0 && !campaign) {
+    std::fprintf(stderr, "--big-cluster-max-n requires --campaign\n");
     return 2;
   }
 
@@ -247,6 +257,7 @@ int main(int argc, char** argv) {
       copts.jobs = static_cast<unsigned>(jobs);
       copts.generations = generations;
       copts.mutationsPerGeneration = mutations;
+      copts.bigClusterMaxN = static_cast<std::size_t>(bigClusterMaxN);
 
       const wfd::CampaignReport report = wfd::runCampaign(copts, keepGoing);
       totalViolations += report.violations.size();
