@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# E8 perf smoke: guards the eTOB per-message hot path against regression.
+#
+# Absolute times are useless across CI machines, so the gate is the
+# RATIO of eTOB to TOB cpu_time on the same E8 workload (n = 5, same
+# process, back to back): BM_EtobThroughput/5 / BM_TobThroughput/5.
+# Before the hot-path rebuild (incremental promotes, delta-encoded
+# promote messages, frontier deps, flat bodies, stable-pred unions) the
+# ratio was ~41x (62.5 ms vs 1.5 ms, BENCH_pr7-scale.json); after it is
+# ~4x (BENCH_pr8-etob.json). The threshold sits at 8x — double today's
+# ratio, an order of magnitude under the old one — so noise passes and
+# an accidental return of a per-update full toposort or full-sequence
+# promote re-ship fails.
+#
+# Usage: scripts/check_e8_perf.sh [BUILD_DIR]   (default: build/release)
+#
+# Knobs:
+#   WFD_E8_MAX_RATIO   override the failure threshold (default 8.0)
+#   WFD_E8_MIN_TIME    benchmark min time in seconds (default 0.5)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-$repo_root/build/release}"
+max_ratio="${WFD_E8_MAX_RATIO:-8.0}"
+min_time="${WFD_E8_MIN_TIME:-0.5}"
+
+bench="$build_dir/bench/bench_e8_throughput"
+if [ ! -x "$bench" ]; then
+  echo "error: $bench not found — build the benches first" >&2
+  exit 1
+fi
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+"$bench" \
+  --benchmark_filter='BM_(Etob|Tob)Throughput/5$' \
+  --benchmark_min_time="$min_time" \
+  --benchmark_out="$tmpdir/e8.json" \
+  --benchmark_out_format=json
+
+python3 - "$tmpdir/e8.json" "$max_ratio" <<'PY'
+import json
+import sys
+
+path, max_ratio = sys.argv[1], float(sys.argv[2])
+times = {}
+for b in json.load(open(path))["benchmarks"]:
+    times[b["name"]] = float(b["cpu_time"])
+
+try:
+    etob = times["BM_EtobThroughput/5"]
+    tob = times["BM_TobThroughput/5"]
+except KeyError as missing:
+    sys.exit(f"e8 perf smoke: benchmark {missing} missing from output")
+
+ratio = etob / tob
+verdict = "OK" if ratio <= max_ratio else "FAILED"
+print(
+    f"e8 perf smoke {verdict}: eTOB {etob:.2f} ms / TOB {tob:.2f} ms "
+    f"= {ratio:.1f}x (threshold {max_ratio:.1f}x)"
+)
+sys.exit(0 if ratio <= max_ratio else 1)
+PY

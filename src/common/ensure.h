@@ -43,3 +43,18 @@ namespace detail {
                                 wfd_ensure_os.str());                   \
     }                                                                   \
   } while (false)
+
+/// Debug-build-only invariant check: enforced like WFD_ENSURE in builds
+/// without NDEBUG (debug, asan, tsan presets); compiled but never
+/// evaluated in release builds, so hot paths can carry expensive
+/// cross-checks for free.
+#ifndef NDEBUG
+#define WFD_DCHECK(expr) WFD_ENSURE(expr)
+#else
+#define WFD_DCHECK(expr)            \
+  do {                              \
+    if (false) {                    \
+      (void)(expr);                 \
+    }                               \
+  } while (false)
+#endif

@@ -12,10 +12,15 @@
 //  * kFrontier — edges only from the causally-maximal elements of C(m)
 //    (the graph's current sinks plus the explicit dependencies). Cheaper,
 //    and provably closure-equivalent because every node reaches a sink.
+//
+// Layout: message bodies live in a flat vector parallel to the graph's
+// insertion-index space (bodies_[i] is the content of node i once
+// bodyKnown_[i]); approxWeight is maintained incrementally. The promote
+// sequence of UpdatePromote is maintained incrementally too — see
+// extendPromote() below.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "common/digraph.h"
@@ -45,7 +50,10 @@ class CausalityGraph {
 
   /// True iff the full content of the message is known (placeholder
   /// dependency nodes return false).
-  bool contains(MsgId id) const { return bodies_.contains(id); }
+  bool contains(MsgId id) const {
+    const auto idx = graph_.indexOf(id);
+    return idx.has_value() && bodyKnown_[*idx] != 0;
+  }
   std::size_t messageCount() const { return graph_.nodeCount(); }
   std::size_t edgeCount() const { return graph_.edgeCount(); }
 
@@ -64,28 +72,100 @@ class CausalityGraph {
   std::vector<MsgId> frontier() const { return graph_.sinks(); }
 
   /// Abstract serialized size in words (nodes + edges + message bodies) —
-  /// what a full-graph update message costs on the wire.
-  std::size_t approxWeight() const;
+  /// what a full-graph update message costs on the wire. Maintained
+  /// incrementally; O(1).
+  std::size_t approxWeight() const {
+    return 1 + graph_.nodeCount() + graph_.edgeCount() + bodyWeight_;
+  }
 
   /// Deterministic topological order of all messages (ties by MsgId).
   /// The graph is acyclic by construction, so this always succeeds.
   std::vector<MsgId> topologicalOrder() const;
 
-  /// The paper's UpdatePromote: returns an extension of `promote` that
-  /// contains every PROMOTABLE message of this graph exactly once and
-  /// respects every edge. A message is promotable when its content and
-  /// the content of its whole causal ancestry are known — a placeholder
-  /// dependency blocks its descendants (causal buffering), never the
-  /// rest of the graph. `promote` must itself respect the graph's edges
-  /// (invariant maintained by Algorithm 5; violations throw).
+  /// The paper's UpdatePromote, batch form: returns an extension of
+  /// `promote` that contains every PROMOTABLE message of this graph
+  /// exactly once and respects every edge. A message is promotable when
+  /// its content and the content of its whole causal ancestry are known —
+  /// a placeholder dependency blocks its descendants (causal buffering),
+  /// never the rest of the graph. `promote` must itself respect the
+  /// graph's edges (invariant maintained by Algorithm 5; violations
+  /// throw). This is the reference implementation (full topo walk); the
+  /// automata drive the incremental engine below, which produces
+  /// identical sequences (differentially tested).
   std::vector<MsgId> extendPromote(const std::vector<MsgId>& promote) const;
+
+  // -- Incremental promote engine ----------------------------------------
+  // addMessage/unionWith maintain per-node unmet-predecessor counts and a
+  // ready frontier (nodes whose content and whole ancestry are known but
+  // which are not yet in the maintained sequence). extendPromote() drains
+  // that frontier in O(newly promotable + touched edges): when exactly one
+  // node is ready at a time it is appended directly (the unique next
+  // element of the canonical batch order); only when several become ready
+  // in the same event does it fall back to the full topo walk. The
+  // maintained sequence therefore equals replaying the batch
+  // extendPromote after every event, without the per-update full toposort.
+
+  /// Extends the maintained promote sequence with everything that became
+  /// promotable since the last call. Returns the maintained sequence.
+  const std::vector<MsgId>& extendPromote();
+
+  /// The maintained promote sequence (what successive extendPromote()
+  /// calls have produced).
+  const std::vector<MsgId>& promoteSequence() const { return promoteSeq_; }
+
+  /// Rebase: replaces the maintained sequence with `base` (which must be
+  /// duplicate-free and respect the graph's edges — the committed prefix
+  /// of the §7 extension) and extends it with everything promotable.
+  /// Equivalent to the batch extendPromote(base).
+  const std::vector<MsgId>& resetPromote(const std::vector<MsgId>& base);
 
   CgEdgeMode mode() const { return mode_; }
 
  private:
+  /// Grows the per-node parallel arrays to the graph's node count.
+  void syncNodeArrays();
+  /// Recomputes unmetPreds_ for node i and queues it if it became ready.
+  void refreshNode(std::uint32_t i);
+  void pushReady(std::uint32_t i);
+  /// Appends node i to the maintained sequence and releases its
+  /// successors (decrementing unmet counts, queueing newly ready nodes).
+  void emitNode(std::uint32_t i);
+  /// Fallback: full topo walk appending every promotable node (exact
+  /// batch order).
+  void emitBatch();
+  /// kFrontier dominance collapse: drops every dep that reaches another
+  /// dep (it is implied transitively). One multi-source backward flood
+  /// instead of the former O(deps²) pairwise reaches() scan.
+  void collapseDominated(const std::vector<MsgId>& deps,
+                         std::vector<MsgId>& out);
+  /// Debug cross-check: the flood result must match the pairwise scan.
+  bool noDominatedSource(const std::vector<MsgId>& deps,
+                         const std::vector<MsgId>& sources) const;
+
   CgEdgeMode mode_;
   Digraph<MsgId> graph_;
-  std::unordered_map<MsgId, AppMsg> bodies_;
+  /// Content per node index; meaningful only where bodyKnown_[i] != 0
+  /// (placeholder nodes keep a default-constructed slot).
+  std::vector<AppMsg> bodies_;
+  std::vector<char> bodyKnown_;
+  /// Σ over known bodies of (2 + |body| + |causalDeps|): the body part of
+  /// approxWeight, maintained on every body learn.
+  std::size_t bodyWeight_ = 0;
+
+  // Incremental promote state (all parallel to the graph's index space).
+  std::vector<MsgId> promoteSeq_;
+  std::vector<char> emitted_;
+  std::vector<std::uint32_t> unmetPreds_;
+  std::vector<std::uint32_t> ready_;
+  std::vector<char> readyFlag_;
+
+  // Reused scratch (dominance flood + union bookkeeping), stamp-versioned
+  // so clears are O(touched) not O(nodes).
+  std::vector<std::uint32_t> visitStamp_;
+  std::uint32_t visitEpoch_ = 0;
+  std::vector<std::uint32_t> floodStack_;
+  std::vector<MsgId> sourcesScratch_;
+  std::vector<std::uint32_t> unionMapScratch_;
 };
 
 }  // namespace wfd

@@ -39,7 +39,9 @@ void CommitEtobAutomaton::onInput(const StepContext&, const Payload& input,
   AppMsg m = bcast->msg;
   std::vector<MsgId> deps = m.causalDeps;
   if (config_.autoCausal) {
-    for (MsgId known : cg_.ids()) deps.push_back(known);
+    // Frontier deps are closure-equivalent to all known ids (see
+    // EtobAutomaton::onInput).
+    for (MsgId known : cg_.frontier()) deps.push_back(known);
   }
   cg_.addMessage(m, deps);
   if (config_.deltaUpdates) {
@@ -54,30 +56,28 @@ void CommitEtobAutomaton::onMessage(const StepContext& ctx, ProcessId from,
                                     const Payload& msg, Effects& fx) {
   if (const auto* update = msg.as<EtobUpdateMsg>()) {
     cg_.unionWith(update->cg);
+    pruneAdopted(update->cg);
     updatePromote();
     return;
   }
   if (const auto* delta = msg.as<EtobDeltaMsg>()) {
     cg_.addMessage(delta->msg, delta->deps);
+    adoptedBodies_.erase(delta->msg.id);
     updatePromote();
     return;
   }
   if (const auto* promote = msg.as<EtobPromoteMsg>()) {
-    if (ctx.fd.leader != from || promote->epoch <= adoptedEpoch_[from]) return;
-    std::vector<MsgId> ids;
-    ids.reserve(promote->seq.size());
-    for (const AppMsg& m : promote->seq) ids.push_back(m.id);
+    auto& chain = chains_[from];
+    advancePromoteChain(chain, *promote, cg_, adoptedBodies_);
+    if (ctx.fd.leader != from || chain.epoch <= adoptedEpoch_[from]) return;
     // Commit guard: never adopt a sequence that contradicts what this
     // process already knows to be committed.
-    if (!extendsCommitted(ids)) return;
-    adoptedEpoch_[from] = promote->epoch;
-    for (const AppMsg& m : promote->seq) {
-      if (!cg_.contains(m.id)) adoptedBodies_.emplace(m.id, m);
-    }
-    d_ = std::move(ids);
+    if (!extendsCommitted(chain.ids)) return;
+    adoptedEpoch_[from] = chain.epoch;
+    d_ = chain.ids;
     fx.deliverSequence(d_);
     // Acknowledge the adoption to the leader (commit machinery).
-    fx.send(from, Payload::of(EtobAckMsg{promote->epoch}));
+    fx.send(from, Payload::of(EtobAckMsg{chain.epoch}));
     return;
   }
   if (const auto* ack = msg.as<EtobAckMsg>()) {
@@ -103,7 +103,7 @@ void CommitEtobAutomaton::onMessage(const StepContext& ctx, ProcessId from,
     // included, freezing d_i forever (a deadlock wfd_explore shrank to a
     // 5-process run). Only commit candidates the current promote order
     // still stands behind.
-    if (!isPrefix(candidate, promote_)) return;
+    if (!isPrefix(candidate, cg_.promoteSequence())) return;
     committed_ = candidate;
     std::vector<AppMsg> content;
     content.reserve(committed_.size());
@@ -133,29 +133,48 @@ void CommitEtobAutomaton::onMessage(const StepContext& ctx, ProcessId from,
 
 void CommitEtobAutomaton::onTimeout(const StepContext& ctx, Effects& fx) {
   if (ctx.fd.leader != ctx.self) return;
+  const std::vector<MsgId>& promote = cg_.promoteSequence();
+  // Delta-encode against the previous sent promote unless adoptCommit
+  // rebased the sequence since then (the suffix would extend the wrong
+  // base); a rebase forces one full snapshot, after which deltas resume.
+  const bool delta = config_.deltaPromotes && !rebasedSinceLastSent_;
+  const std::size_t base = delta ? lastSentLen_ : 0;
+  WFD_DCHECK(base <= promote.size());
   // Promote only when every promoted message's content is known (a
-  // commit-adopted placeholder may still be in flight).
+  // commit-adopted placeholder may still be in flight). Entries below
+  // `base` were resolvable when the previous promote shipped them and
+  // nothing here forgets content, so scanning the suffix suffices.
   std::vector<AppMsg> seq;
-  seq.reserve(promote_.size());
+  seq.reserve(promote.size() - base);
   std::size_t weight = 3;
-  for (MsgId id : promote_) {
-    const AppMsg* m = findMessage(id);
+  for (std::size_t k = base; k < promote.size(); ++k) {
+    const AppMsg* m = findMessage(promote[k]);
     if (m == nullptr) return;  // wait for the content to arrive
     seq.push_back(*m);
     weight += 2 + m->body.size();
   }
   ++promoteEpoch_;
-  epochSeq_[promoteEpoch_] = promote_;
+  epochSeq_[promoteEpoch_] = promote;
   // Prune acknowledged bookkeeping far behind the committed frontier.
   while (!epochSeq_.empty() && epochSeq_.begin()->first + 128 < promoteEpoch_) {
     acks_.erase(epochSeq_.begin()->first);
     epochSeq_.erase(epochSeq_.begin());
   }
-  fx.broadcast(Payload::of(EtobPromoteMsg{std::move(seq), promoteEpoch_}), weight);
+  lastSentLen_ = promote.size();
+  rebasedSinceLastSent_ = false;
+  fx.broadcast(Payload::of(EtobPromoteMsg{std::move(seq), promoteEpoch_, base}),
+               weight);
 }
 
 void CommitEtobAutomaton::updatePromote() {
-  promote_ = cg_.extendPromote(promote_);
+  cg_.extendPromote();
+}
+
+void CommitEtobAutomaton::pruneAdopted(const CausalityGraph& learned) {
+  if (adoptedBodies_.empty()) return;
+  for (MsgId id : learned.ids()) {
+    if (cg_.contains(id)) adoptedBodies_.erase(id);
+  }
 }
 
 void CommitEtobAutomaton::adoptCommit(const std::vector<AppMsg>& prefix,
@@ -180,7 +199,8 @@ void CommitEtobAutomaton::adoptCommit(const std::vector<AppMsg>& prefix,
     cg_.addMessage(m, {});
   }
   committed_ = std::move(ids);
-  promote_ = cg_.extendPromote(committed_);
+  cg_.resetPromote(committed_);
+  rebasedSinceLastSent_ = true;
   // The indication is emitted once the local delivery sequence reflects
   // the committed prefix (it may still show an older leader's view).
   if (isPrefix(committed_, d_)) {

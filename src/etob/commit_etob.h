@@ -84,21 +84,29 @@ class CommitEtobAutomaton final : public CloneableAutomaton<CommitEtobAutomaton>
   const std::vector<MsgId>& committedPrefix() const { return committed_; }
   /// Conflicting committed prefixes observed (0 under the §7 proviso).
   std::uint64_t commitConflicts() const { return commitConflicts_; }
+  /// Promote-learned bodies not yet backed by the causality graph.
+  std::size_t adoptedBodyCount() const { return adoptedBodies_.size(); }
 
  private:
   void updatePromote();
+  void pruneAdopted(const CausalityGraph& learned);
   void adoptCommit(const std::vector<AppMsg>& prefix, Effects& fx);
   bool extendsCommitted(const std::vector<MsgId>& seq) const;
 
   EtobConfig config_;
   std::vector<MsgId> d_;
-  std::vector<MsgId> promote_;
-  CausalityGraph cg_;
+  CausalityGraph cg_;  // also maintains promote_i incrementally
   std::unordered_map<MsgId, AppMsg> adoptedBodies_;
 
-  // Promote epochs (as in EtobAutomaton).
+  // Promote epochs and delta reconstruction (as in EtobAutomaton).
   std::uint64_t promoteEpoch_ = 0;
   std::unordered_map<ProcessId, std::uint64_t> adoptedEpoch_;
+  std::unordered_map<ProcessId, PromoteChain> chains_;
+  std::size_t lastSentLen_ = 0;
+  /// adoptCommit can REBASE the promote sequence (it is no longer an
+  /// extension of what was last sent), so the next promote must be a
+  /// full snapshot rather than a delta.
+  bool rebasedSinceLastSent_ = true;
 
   // Commit machinery.
   std::vector<MsgId> committed_;

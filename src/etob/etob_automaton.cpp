@@ -4,6 +4,44 @@
 
 namespace wfd {
 
+bool advancePromoteChain(PromoteChain& chain, const EtobPromoteMsg& msg,
+                         const CausalityGraph& cg,
+                         std::unordered_map<MsgId, AppMsg>& adoptedBodies) {
+  if (msg.epoch <= chain.epoch) return false;  // stale duplicate
+  chain.pending.emplace(msg.epoch, msg);
+  bool advanced = false;
+  while (!chain.pending.empty()) {
+    const auto it = chain.pending.begin();
+    if (it->first <= chain.epoch) {  // superseded by a newer full snapshot
+      chain.pending.erase(it);
+      continue;
+    }
+    const EtobPromoteMsg& p = it->second;
+    const bool full = p.baseLen == 0;
+    // A delta extends exactly the sender's previous promote; epochs are
+    // contiguous per sender, so a gap means that promote is still in
+    // flight (reliable links guarantee it arrives).
+    if (!full && it->first != chain.epoch + 1) break;
+    if (full) {
+      chain.ids.clear();
+    } else {
+      WFD_ENSURE_MSG(chain.ids.size() == p.baseLen,
+                     "promote delta base length mismatch");
+    }
+    chain.ids.reserve(chain.ids.size() + p.seq.size());
+    for (const AppMsg& m : p.seq) {
+      chain.ids.push_back(m.id);
+      // Stash content the causality graph doesn't know yet so every id in
+      // the reconstructed sequence stays resolvable via findMessage.
+      if (!cg.contains(m.id)) adoptedBodies.emplace(m.id, m);
+    }
+    chain.epoch = it->first;
+    chain.pending.erase(it);
+    advanced = true;
+  }
+  return advanced;
+}
+
 EtobAutomaton::EtobAutomaton(EtobConfig config)
     : config_(config), cg_(config.edgeMode) {}
 
@@ -14,9 +52,11 @@ void EtobAutomaton::onInput(const StepContext&, const Payload& input, Effects& f
   AppMsg m = bcast->msg;
   std::vector<MsgId> deps = m.causalDeps;
   if (config_.autoCausal) {
-    // C(m) ⊇ everything this process has sent or received so far: the
-    // full happened-before context of the broadcast.
-    for (MsgId known : cg_.ids()) deps.push_back(known);
+    // C(m) ⊇ everything this process has sent or received so far. Listing
+    // the causal frontier (the graph's sinks) is closure-equivalent to
+    // listing every known message — every known message reaches a sink —
+    // and promote order depends only on the closure.
+    for (MsgId known : cg_.frontier()) deps.push_back(known);
   }
   cg_.addMessage(m, deps);
   if (config_.deltaUpdates) {
@@ -31,26 +71,26 @@ void EtobAutomaton::onMessage(const StepContext& ctx, ProcessId from,
                               const Payload& msg, Effects& fx) {
   if (const auto* update = msg.as<EtobUpdateMsg>()) {
     cg_.unionWith(update->cg);
+    pruneAdopted(update->cg);
     updatePromote();
     return;
   }
   if (const auto* delta = msg.as<EtobDeltaMsg>()) {
     cg_.addMessage(delta->msg, delta->deps);
+    adoptedBodies_.erase(delta->msg.id);
     updatePromote();
     return;
   }
   if (const auto* promote = msg.as<EtobPromoteMsg>()) {
-    // Adopt the sequence only if it comes from the process this module's
-    // Omega currently trusts, and only in send order (stale reordered
-    // promotes from the same sender are discarded).
-    if (ctx.fd.leader == from && promote->epoch > adoptedEpoch_[from]) {
-      adoptedEpoch_[from] = promote->epoch;
-      d_.clear();
-      d_.reserve(promote->seq.size());
-      for (const AppMsg& m : promote->seq) {
-        d_.push_back(m.id);
-        if (!cg_.contains(m.id)) adoptedBodies_.emplace(m.id, m);
-      }
+    auto& chain = chains_[from];
+    advancePromoteChain(chain, *promote, cg_, adoptedBodies_);
+    // Adopt the reconstructed sequence only if it comes from the process
+    // this module's Omega currently trusts, and only in send order (stale
+    // reordered promotes from the same sender are discarded: the chain
+    // head only ever moves forward).
+    if (ctx.fd.leader == from && chain.epoch > adoptedEpoch_[from]) {
+      adoptedEpoch_[from] = chain.epoch;
+      d_ = chain.ids;
       fx.deliverSequence(d_);
     }
     return;
@@ -63,9 +103,10 @@ void EtobAutomaton::onTimeout(const StepContext& ctx, Effects& fx) {
     wasLeader_ = false;
     return;
   }
+  const std::vector<MsgId>& promote = cg_.promoteSequence();
   ++lambdasSincePromote_;
   if (config_.promoteRefreshEvery > 1) {
-    const bool changed = promote_ != lastPromoted_;
+    const bool changed = promote.size() != lastPromotedLen_;
     const bool justElected = !wasLeader_;
     const bool refreshDue = lambdasSincePromote_ >= config_.promoteRefreshEvery;
     wasLeader_ = true;
@@ -73,15 +114,23 @@ void EtobAutomaton::onTimeout(const StepContext& ctx, Effects& fx) {
   }
   wasLeader_ = true;
   lambdasSincePromote_ = 0;
-  lastPromoted_ = promote_;
+  lastPromotedLen_ = promote.size();
+  // Delta-encode against the previous sent promote: plain eTOB only ever
+  // appends to promote_i, so the suffix past lastSentLen_ plus the base
+  // length reconstructs the full sequence at every receiver. The first
+  // promote has lastSentLen_ == 0 and is naturally a full snapshot.
+  const std::size_t base = config_.deltaPromotes ? lastSentLen_ : 0;
+  WFD_DCHECK(base <= promote.size());
   std::vector<AppMsg> seq;
-  seq.reserve(promote_.size());
-  std::size_t weight = 2;
-  for (MsgId id : promote_) {
-    seq.push_back(cg_.message(id));
+  seq.reserve(promote.size() - base);
+  std::size_t weight = config_.deltaPromotes ? 3 : 2;  // +1 word for baseLen
+  for (std::size_t k = base; k < promote.size(); ++k) {
+    seq.push_back(cg_.message(promote[k]));
     weight += 2 + seq.back().body.size();
   }
-  fx.broadcast(Payload::of(EtobPromoteMsg{std::move(seq), ++promoteEpoch_}),
+  ++promoteEpoch_;
+  lastSentLen_ = promote.size();
+  fx.broadcast(Payload::of(EtobPromoteMsg{std::move(seq), promoteEpoch_, base}),
                weight);
 }
 
@@ -92,7 +141,17 @@ const AppMsg* EtobAutomaton::findMessage(MsgId id) const {
 }
 
 void EtobAutomaton::updatePromote() {
-  promote_ = cg_.extendPromote(promote_);
+  cg_.extendPromote();
+}
+
+void EtobAutomaton::pruneAdopted(const CausalityGraph& learned) {
+  // Every promote-learned body whose update has now reached cg_ is backed
+  // there; dropping it keeps adoptedBodies_ from growing for the whole
+  // run (it previously retained every foreign body ever adopted).
+  if (adoptedBodies_.empty()) return;
+  for (MsgId id : learned.ids()) {
+    if (cg_.contains(id)) adoptedBodies_.erase(id);
+  }
 }
 
 }  // namespace wfd

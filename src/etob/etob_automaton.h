@@ -28,6 +28,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <unordered_map>
 #include <vector>
 
@@ -38,22 +39,33 @@
 
 namespace wfd {
 
-/// ETOB wire messages. promote carries full messages (the paper's
-/// promote(promote_i) is a sequence of messages, content included), so an
-/// adopter always knows the content of everything in its d_i even if the
-/// corresponding update hasn't reached it yet. `epoch` is a per-sender
-/// send counter: links in the model are reliable but not FIFO, so without
-/// it a stale (shorter) promote could overwrite a newer one after
-/// arriving late — which would break the paper's property (2) (strong TOB
-/// under an always-stable leader). The paper's Lemma 3 implicitly adopts
-/// promotes in send order; the epoch guard realizes that over non-FIFO
-/// links. See DESIGN.md.
-struct EtobUpdateMsg {
-  CausalityGraph cg;
-};
+/// ETOB wire messages. A promote carries full message content (the
+/// paper's promote(promote_i) is a sequence of messages, content
+/// included), so an adopter always knows the content of everything in its
+/// d_i even if the corresponding update hasn't reached it yet. `epoch` is
+/// a per-sender send counter: links in the model are reliable but not
+/// FIFO, so without it a stale (shorter) promote could overwrite a newer
+/// one after arriving late — which would break the paper's property (2)
+/// (strong TOB under an always-stable leader). The paper's Lemma 3
+/// implicitly adopts promotes in send order; the epoch guard realizes
+/// that over non-FIFO links. See docs/ARCHITECTURE.md ("The eTOB data
+/// path").
+///
+/// Delta encoding: a plain eTOB leader only ever APPENDS to promote_i, so
+/// instead of re-shipping the whole sequence each λ, `seq` carries just
+/// the suffix past `baseLen` (the sequence length at the sender's
+/// previous promote epoch), and `baseLen == 0` marks a self-contained
+/// full snapshot (first promote, empty previous sequence, or a §7 rebase).
+/// Receivers reconstruct per-sender sequences in epoch order
+/// (PromoteChain below); a delta whose base epoch hasn't arrived yet is
+/// buffered, never dropped — reliable links guarantee the chain fills.
 struct EtobPromoteMsg {
   std::vector<AppMsg> seq;
   std::uint64_t epoch = 0;
+  std::uint64_t baseLen = 0;
+};
+struct EtobUpdateMsg {
+  CausalityGraph cg;
 };
 /// Delta update: one new message plus its dependency ids. The paper's
 /// update(CG_i) carries the whole graph; since a broadcast step is atomic
@@ -64,15 +76,46 @@ struct EtobDeltaMsg {
   std::vector<MsgId> deps;
 };
 
+/// Per-sender reconstruction of a leader's promote sequence from
+/// delta-encoded promotes. `epoch`/`ids` is the newest contiguously
+/// reconstructed prefix of the sender's promote history; out-of-order
+/// deltas wait in `pending` until the promote they extend arrives
+/// (promote epochs from one sender are contiguous — the counter advances
+/// exactly once per sent promote).
+struct PromoteChain {
+  std::uint64_t epoch = 0;
+  std::vector<MsgId> ids;
+  std::map<std::uint64_t, EtobPromoteMsg> pending;
+};
+
+/// Ingests one promote message into the per-sender chain, splicing every
+/// pending epoch that becomes reconstructible (a full snapshot resets the
+/// chain and may jump gaps). Message bodies carried in spliced suffixes
+/// that the causality graph does not know yet are stashed into
+/// `adoptedBodies` so every reconstructed sequence stays fully resolvable
+/// (rsm::Replica hard-requires content for every delivered id). Returns
+/// true if the chain advanced.
+bool advancePromoteChain(PromoteChain& chain, const EtobPromoteMsg& msg,
+                         const CausalityGraph& cg,
+                         std::unordered_map<MsgId, AppMsg>& adoptedBodies);
+
 struct EtobConfig {
   CgEdgeMode edgeMode = CgEdgeMode::kFullPaper;
-  /// If true, C(m) is extended with every message the sender currently
-  /// knows (everything in CG_i) — the strongest sound causal context,
-  /// matching the paper's happened-before relation ->_R exactly.
+  /// If true, C(m) is extended with the causal frontier of everything the
+  /// sender currently knows (the sinks of CG_i). Closure-equivalent to
+  /// listing every known message — every known message reaches a sink —
+  /// so promote sequences are unchanged (see the kFrontier argument in
+  /// causality_graph.h), but the dep list shrinks from O(M) to the
+  /// frontier width.
   bool autoCausal = true;
   /// If true, broadcasts EtobDeltaMsg instead of the paper's full-graph
   /// update(CG_i). Behaviour-preserving; weight-saving.
   bool deltaUpdates = false;
+  /// If true, promotes are delta-encoded against the sender's previous
+  /// promote (see EtobPromoteMsg). Content-preserving — every receiver
+  /// reconstructs the same sequences — and collapses the O(|promote_i|)
+  /// per-λ promote weight to the newly appended suffix.
+  bool deltaPromotes = true;
   /// Leader promote cadence: 1 = the paper's "on every local timeout".
   /// N > 1 = promote when the sequence changed, when leadership was just
   /// (re)acquired, or at least every N λ-steps (the refresh keeps the
@@ -91,31 +134,45 @@ class EtobAutomaton final : public CloneableAutomaton<EtobAutomaton> {
   void onTimeout(const StepContext& ctx, Effects& fx) override;
 
   /// Content of a message this process knows (from its causality graph or
-  /// from an adopted promote sequence); nullptr if unknown. Part of the
+  /// from a received promote sequence); nullptr if unknown. Part of the
   /// BroadcastAutomatonLike concept used by the ETOB->EC transformation.
   const AppMsg* findMessage(MsgId id) const;
 
   /// Test/bench introspection.
   const std::vector<MsgId>& delivered() const { return d_; }
-  const std::vector<MsgId>& promoteSequence() const { return promote_; }
+  const std::vector<MsgId>& promoteSequence() const {
+    return cg_.promoteSequence();
+  }
   const CausalityGraph& causalityGraph() const { return cg_; }
+  /// Promote-learned bodies not yet backed by the causality graph
+  /// (pruned on cg_ ingestion — the satellite leak regression).
+  std::size_t adoptedBodyCount() const { return adoptedBodies_.size(); }
 
  private:
   void updatePromote();
+  /// Drops adoptedBodies_ entries now backed by cg_ (called after a
+  /// peer graph/delta is ingested).
+  void pruneAdopted(const CausalityGraph& learned);
 
   EtobConfig config_;
-  std::vector<MsgId> d_;        // output variable d_i
-  std::vector<MsgId> promote_;  // promote_i
-  CausalityGraph cg_;           // CG_i
-  /// Bodies learned from adopted promote sequences whose update messages
-  /// haven't arrived yet (the CG itself stays edge-consistent).
+  std::vector<MsgId> d_;  // output variable d_i
+  CausalityGraph cg_;     // CG_i (also maintains promote_i incrementally)
+  /// Bodies learned from received promote sequences whose update messages
+  /// haven't arrived yet (the CG itself stays edge-consistent). Entries
+  /// are pruned as soon as the body reaches cg_ via update/delta.
   std::unordered_map<MsgId, AppMsg> adoptedBodies_;
   /// Per-sender promote counters: own (outgoing) and the highest adopted
-  /// from each peer (stale reordered promotes are discarded).
+  /// from each peer (stale reordered promotes are discarded), plus the
+  /// per-sender delta reconstruction chains.
   std::uint64_t promoteEpoch_ = 0;
   std::unordered_map<ProcessId, std::uint64_t> adoptedEpoch_;
-  /// Promote-suppression state (promoteRefreshEvery > 1).
-  std::vector<MsgId> lastPromoted_;
+  std::unordered_map<ProcessId, PromoteChain> chains_;
+  /// Promote length covered by this leader's last sent promote (the delta
+  /// base; promote_i is append-only in plain eTOB).
+  std::size_t lastSentLen_ = 0;
+  /// Promote-suppression state (promoteRefreshEvery > 1). promote_i is
+  /// append-only, so "changed since last promote" is a length compare.
+  std::size_t lastPromotedLen_ = 0;
   std::uint64_t lambdasSincePromote_ = 0;
   bool wasLeader_ = false;
 };

@@ -74,10 +74,25 @@ TEST(CommitEtobTest, CommitsSafeAcrossLateStabilization) {
   const auto commit = checkCommitSafety(sim.trace(), fp);
   EXPECT_TRUE(commit.safetyOk())
       << (commit.errors.empty() ? "" : commit.errors[0]);
-  for (ProcessId p = 0; p < 3; ++p) {
-    const auto& a = static_cast<const CommitEtobAutomaton&>(sim.automaton(p));
-    EXPECT_EQ(a.commitConflicts(), 0u);
-  }
+  // Rotating pre-stabilization leaders may produce (safety-preserving)
+  // conflicting commits — that is exactly the outside-the-proviso case §7
+  // allows. What must hold is that NO NEW conflicts appear once Omega is
+  // stable: keep running to maxTime and require the counters frozen.
+  const auto totalConflicts = [&sim] {
+    std::uint64_t total = 0;
+    for (ProcessId p = 0; p < 3; ++p) {
+      total += static_cast<const CommitEtobAutomaton&>(sim.automaton(p))
+                   .commitConflicts();
+    }
+    return total;
+  };
+  const std::uint64_t atConvergence = totalConflicts();
+  sim.run();
+  EXPECT_EQ(totalConflicts(), atConvergence)
+      << "conflicting commits after Omega stabilized";
+  const auto late = checkCommitSafety(sim.trace(), fp);
+  EXPECT_TRUE(late.safetyOk())
+      << (late.errors.empty() ? "" : late.errors[0]);
 }
 
 TEST(CommitEtobTest, CommitsSafeAcrossLeaderCrash) {

@@ -166,6 +166,102 @@ TEST(EtobTest, OnlyLeaderPromotes) {
   EXPECT_TRUE(fx.sends()[0].payload.holds<EtobPromoteMsg>());
 }
 
+TEST(EtobTest, StaleReorderedPromoteDoesNotRegressAdoption) {
+  // Mutation guard on the epoch check in onMessage: remove it and this
+  // test adopts the shorter stale sequence.
+  EtobAutomaton a;
+  StepContext ctx;
+  ctx.self = 0;
+  ctx.processCount = 3;
+  ctx.fd.leader = 2;
+  Effects fx;
+  AppMsg m1;
+  m1.id = makeMsgId(2, 0);
+  m1.origin = 2;
+  AppMsg m2;
+  m2.id = makeMsgId(2, 1);
+  m2.origin = 2;
+  // Epoch 2 (a full snapshot) overtakes epoch 1 in the non-FIFO network.
+  a.onMessage(ctx, 2, Payload::of(EtobPromoteMsg{{m1, m2}, 2}), fx);
+  EXPECT_EQ(a.delivered(), (std::vector<MsgId>{m1.id, m2.id}));
+  a.onMessage(ctx, 2, Payload::of(EtobPromoteMsg{{m1}, 1}), fx);
+  EXPECT_EQ(a.delivered(), (std::vector<MsgId>{m1.id, m2.id}))
+      << "stale reordered promote must not shrink d_i";
+}
+
+TEST(EtobTest, DeltaPromoteGapBuffersUntilBaseArrives) {
+  EtobAutomaton a;
+  StepContext ctx;
+  ctx.self = 0;
+  ctx.processCount = 3;
+  ctx.fd.leader = 2;
+  Effects fx;
+  AppMsg m1;
+  m1.id = makeMsgId(2, 0);
+  m1.origin = 2;
+  AppMsg m2;
+  m2.id = makeMsgId(2, 1);
+  m2.origin = 2;
+  // The epoch-2 delta (suffix {m2} over a base of length 1) overtakes the
+  // epoch-1 promote that carries its base: it must buffer, not adopt —
+  // adopting {m2} alone would violate causal order, and the chain cannot
+  // name m1 yet.
+  a.onMessage(ctx, 2, Payload::of(EtobPromoteMsg{{m2}, 2, 1}), fx);
+  EXPECT_TRUE(a.delivered().empty()) << "incomplete chain must not adopt";
+  EXPECT_FALSE(fx.delivered().has_value());
+  // The base arrives late; both epochs splice and the newest head wins.
+  a.onMessage(ctx, 2, Payload::of(EtobPromoteMsg{{m1}, 1}), fx);
+  EXPECT_EQ(a.delivered(), (std::vector<MsgId>{m1.id, m2.id}));
+  // Bodies learned only from promote suffixes stay resolvable (the RSM
+  // layer hard-requires content for every delivered id).
+  ASSERT_NE(a.findMessage(m1.id), nullptr);
+  ASSERT_NE(a.findMessage(m2.id), nullptr);
+  EXPECT_EQ(a.findMessage(m2.id)->origin, 2u);
+}
+
+TEST(EtobTest, AdoptedBodiesDrainOnceUpdatesArrive) {
+  // Regression: promote-learned bodies used to be retained forever; they
+  // must drain as soon as the causality graph learns the same content.
+  EtobAutomaton a;
+  StepContext ctx;
+  ctx.self = 0;
+  ctx.processCount = 3;
+  ctx.fd.leader = 2;
+  Effects fx;
+  AppMsg m;
+  m.id = makeMsgId(2, 0);
+  m.origin = 2;
+  a.onMessage(ctx, 2, Payload::of(EtobPromoteMsg{{m}, 1}), fx);
+  EXPECT_EQ(a.adoptedBodyCount(), 1u) << "promote-learned body buffered";
+  ASSERT_NE(a.findMessage(m.id), nullptr);
+  // The broadcaster's update arrives; the buffered copy drains and the
+  // body stays resolvable through the graph.
+  CausalityGraph peer;
+  peer.addMessage(m, {});
+  a.onMessage(ctx, 2, Payload::of(EtobUpdateMsg{peer}), fx);
+  EXPECT_EQ(a.adoptedBodyCount(), 0u);
+  ASSERT_NE(a.findMessage(m.id), nullptr);
+  EXPECT_EQ(a.findMessage(m.id)->origin, 2u);
+}
+
+TEST(EtobTest, AdoptedBodiesDrainAfterConvergence) {
+  // End-to-end form of the drain regression: rotating pre-stabilization
+  // leaders make every process adopt ahead of its graph at some point;
+  // once gossip converges no buffered body may remain.
+  auto cfg = etobConfig(3);
+  auto fp = FailurePattern::noFailures(3);
+  auto sim = makeEtobSim(cfg, fp, 1500, OmegaPreStabilization::kRotating);
+  auto log = scheduleBroadcastWorkload(sim, defaultWorkload());
+  ASSERT_TRUE(sim.runUntil([&](const Simulator& s) {
+    return s.now() > 3000 && broadcastConverged(s, log);
+  }));
+  sim.run();  // let all in-flight updates land
+  for (ProcessId p = 0; p < 3; ++p) {
+    const auto& a = static_cast<const EtobAutomaton&>(sim.automaton(p));
+    EXPECT_EQ(a.adoptedBodyCount(), 0u) << "process " << p;
+  }
+}
+
 // Property sweep: the ETOB spec holds across seeds, process counts,
 // pre-stabilization modes and edge modes.
 struct EtobSweepParam {

@@ -30,18 +30,24 @@ constexpr std::uint64_t kSeeds[] = {1, 2, 3};
 
 // Generated from the pre-refactor implementation (PR 7 pin step);
 // indexed [stack in kAllAlgoStacks order][n in kNs][seed in kSeeds].
+// The etob and commit-etob rows (and the partition variant below, which
+// runs the etob stack) were re-pinned for the eTOB hot-path rebuild:
+// frontier-based auto-causal deps and delta-encoded promotes change the
+// abstract wire WEIGHTS (which traceDigest folds in), while schedules,
+// delivery sequences and every non-eTOB row are bit-identical — the
+// tob-via-consensus / gossip-lww / omega-ec rows did not move.
 constexpr std::uint64_t kPinnedMatrix[5][3][3] = {
     // etob
     {
-        {0xe89cd3de1e8238a1ULL, 0x579307525c49954aULL, 0x01ca467859825468ULL},
-        {0x287429266b17607eULL, 0xbbcb807c7fd9d25dULL, 0x5aaa8b3b5a09fed9ULL},
-        {0xbe5657a4281197caULL, 0x406b81ecb1a109cfULL, 0x9cb41e3b785d6587ULL},
+        {0x245e8024ae145d4eULL, 0xe5a863ffa93db64eULL, 0x79b6028e5d19e90bULL},
+        {0x93d4cd9e166e97acULL, 0x99208af6774bc55dULL, 0x586025a82e583022ULL},
+        {0x1fe58ca76fd38448ULL, 0xae2e2594d4831ba5ULL, 0xd5f69d4d64a2b6feULL},
     },
     // commit-etob
     {
-        {0x611a328f6950c477ULL, 0x7f548323fd6a5e1fULL, 0xbfcbeea1943d0674ULL},
-        {0x7079872d6cc8a6e7ULL, 0xb2d937509afe4112ULL, 0x5033f1167ae85040ULL},
-        {0xbb770401200cbb58ULL, 0x0e0201f9cc052688ULL, 0x87aa32570f388930ULL},
+        {0x370aa57b6d25e1c9ULL, 0x48c626270d1e8d71ULL, 0xdded93c455c60d1aULL},
+        {0x0c696b27d13318bfULL, 0xe2a932da39de9eb9ULL, 0xc08484f702cae6c6ULL},
+        {0x0365bb04facb1804ULL, 0xaae0c0ddcc0d15f6ULL, 0xcfc2225ab305edf0ULL},
     },
     // tob-via-consensus
     {
@@ -66,9 +72,9 @@ constexpr std::uint64_t kPinnedMatrix[5][3][3] = {
 // Same pre-refactor pin for the periodic half/half partition variant
 // (the indexed-connectivity rewrite's anchor); [n in kNs][seed in kSeeds].
 constexpr std::uint64_t kPinnedPartition[3][3] = {
-    {0x502f29b86a503ac9ULL, 0x077800129b585edfULL, 0x43ceaffd888d8c7fULL},
-    {0x5ec10c468908c683ULL, 0x0997c784af415bbeULL, 0x3e36811f08566a50ULL},
-    {0x98f1282b0ee94ebeULL, 0x579e143ee0caae9dULL, 0x9160e683ddb390cdULL},
+    {0x2266cc615b4d04e6ULL, 0x6ad209b2415b0bebULL, 0x722d5d8fd607fe3cULL},
+    {0xd963940c34da6dc1ULL, 0x4f35a7b64630c78eULL, 0xedf41a0013e33f7fULL},
+    {0x87e16f728b57c2bcULL, 0x3c00f937fdb790d7ULL, 0x7f0368039d23e388ULL},
 };
 
 TEST(ScalePinnedDigestTest, MatrixMatchesPreRefactorPins) {

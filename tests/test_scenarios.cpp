@@ -141,9 +141,14 @@ TEST(SeedDeterminismTest, DifferentSeedsPerturbTheRun) {
 // the SeedDeterminismTest suite above.
 #if defined(__GLIBCXX__)
 
-constexpr std::uint64_t kGoldenA = 0x7cc333cb324a5379ULL;
-constexpr std::uint64_t kGoldenB = 0xb70a212691012f3cULL;
-constexpr std::uint64_t kGoldenC = 0x49f257344e712df3ULL;
+// Re-pinned for the eTOB hot-path rebuild (frontier auto-causal deps +
+// delta-encoded promotes): all three runs use the eTOB stack, whose wire
+// weights — folded into traceDigest — legitimately changed; schedules and
+// delivery sequences are unchanged (the non-eTOB scale-matrix pins in
+// test_large_cluster.cpp did not move).
+constexpr std::uint64_t kGoldenA = 0x3df30e170cfc9d4bULL;
+constexpr std::uint64_t kGoldenB = 0xf54efcd16ccb6313ULL;
+constexpr std::uint64_t kGoldenC = 0x862c75d5e8ac12dfULL;
 
 std::uint64_t runGoldenA(std::shared_ptr<const NetworkModel> model) {
   SimConfig cfg;
