@@ -463,7 +463,8 @@ std::vector<FuzzPlan> scheduleGeneration(const CampaignReport& sofar,
     out.push_back(mutated ? std::move(*mutated)
                           : sampleFuzzPlan(options.stack, options.seed,
                                            (*nextSampleIndex)++,
-                                           options.bigClusterMaxN));
+                                           options.bigClusterMaxN,
+                                           options.lossGenome));
   }
   return out;
 }
@@ -484,7 +485,8 @@ CampaignReport runCampaign(const CampaignOptions& options,
       plans.reserve(options.runs);
       for (std::uint64_t i = 0; i < options.runs; ++i) {
         plans.push_back(sampleFuzzPlan(options.stack, options.seed, i,
-                                       options.bigClusterMaxN));
+                                       options.bigClusterMaxN,
+                                       options.lossGenome));
       }
     } else {
       plans = scheduleGeneration(report, options, gen, mutationBudget,

@@ -117,6 +117,10 @@ struct CampaignOptions {
   /// (sampleFuzzPlan's bigClusterMaxN). 0 = legacy plan stream,
   /// byte-identical to prior builds.
   std::size_t bigClusterMaxN = 0;
+  /// Opt-in fair-lossy genome for generation 0 and refill sampling
+  /// (sampleFuzzPlan's lossGenome). false = legacy plan stream,
+  /// byte-identical to prior builds.
+  bool lossGenome = false;
 };
 
 /// One executed campaign run, addressed by (generation, index) — the

@@ -105,6 +105,33 @@ std::vector<FuzzPlan> reductionCandidates(const FuzzPlan& plan) {
     p.slowLink = PlanSlowLink{};
     add(std::move(p));
   }
+  if (plan.loss.enabled()) {
+    // Drop the whole fair-lossy genome first (also disarms the
+    // retransmission layer), then each sub-layer on its own.
+    FuzzPlan p = plan;
+    p.loss = PlanLoss{};
+    add(std::move(p));
+    if (plan.loss.burstPeriod > 0) {
+      FuzzPlan q = plan;
+      q.loss.burstPeriod = 0;
+      q.loss.burstLen = 0;
+      if (q.loss.lossNum == 0) q.loss.activeUntil = 0;
+      add(std::move(q));
+    }
+    if (plan.loss.oneWayFrom != kNoProcess) {
+      FuzzPlan q = plan;
+      q.loss.oneWayFrom = kNoProcess;
+      q.loss.oneWayStart = 0;
+      q.loss.oneWayWidth = 0;
+      q.loss.oneWayPeriod = 0;
+      add(std::move(q));
+    }
+    if (plan.loss.lossNum > 0 && plan.loss.activeUntil > 1) {
+      FuzzPlan q = plan;
+      q.loss.activeUntil /= 2;
+      add(std::move(q));
+    }
+  }
 
   // Tighten what remains: narrower windows, one-shot instead of
   // recurring, calmer chaos.
@@ -164,6 +191,7 @@ std::vector<FuzzPlan> reductionCandidates(const FuzzPlan& plan) {
     }
     referenced |= plan.chaos.onlyTouching == last;
     referenced |= plan.slowLink.process == last;
+    referenced |= plan.loss.oneWayFrom == last;
     if (!referenced) {
       FuzzPlan p = plan;
       --p.processCount;

@@ -53,7 +53,8 @@ std::uint64_t derivePlanSeed(std::uint64_t masterSeed, AlgoStack stack,
 }
 
 FuzzPlan sampleFuzzPlan(AlgoStack stack, std::uint64_t masterSeed,
-                        std::uint64_t runIndex, std::size_t bigClusterMaxN) {
+                        std::uint64_t runIndex, std::size_t bigClusterMaxN,
+                        bool lossGenome) {
   Rng rng(derivePlanSeed(masterSeed, stack, runIndex));
   FuzzPlan plan;
   plan.stack = stack;
@@ -192,6 +193,28 @@ FuzzPlan sampleFuzzPlan(AlgoStack stack, std::uint64_t masterSeed,
     plan.workload.writers = rng.between(2, 8);
     plan.workload.perProcess = rng.between(1, 3);
   }
+  // Loss genome LAST and only when opted in: with lossGenome == false
+  // this branch draws NOTHING, so the legacy plan stream is reproduced
+  // byte-for-byte (pinned by test_explore and the CI byte-identity
+  // diff), and with it on, the loss-free prefix of each plan is the
+  // same plan the legacy sampler would have produced.
+  if (lossGenome && rng.chance(1, 3)) {
+    plan.loss.lossNum = 1;
+    plan.loss.lossDen = static_cast<std::uint32_t>(rng.between(5, 16));
+    if (rng.chance(1, 2)) {
+      plan.loss.burstPeriod = rng.between(900, 3000);
+      plan.loss.burstLen = rng.between(100, plan.loss.burstPeriod / 3);
+    }
+    if (rng.chance(1, 4)) {
+      // One-shot outbound cut only: the catalog's lossy-oneway entries
+      // cover recurring cuts deterministically; the fuzz envelope keeps
+      // the cut bounded so the retransmission tail is trivially fair.
+      plan.loss.oneWayFrom = rng.below(n);
+      plan.loss.oneWayStart = rng.between(200, 3000);
+      plan.loss.oneWayWidth = rng.between(100, 600);
+    }
+    plan.loss.activeUntil = rng.between(4000, 12000);
+  }
   plan.maxTime = planHorizon(plan);
   WFD_ENSURE_MSG(planAdmissibilityViolations(plan).empty(),
                  "sampler produced an inadmissible plan");
@@ -229,11 +252,29 @@ Time planHorizon(const FuzzPlan& plan) {
       recurringWidth = std::max(recurringWidth, p.width);
     }
   }
+  if (plan.loss.enabled()) {
+    busy = std::max(busy, plan.loss.activeUntil);
+    if (plan.loss.oneWayFrom != kNoProcess) {
+      if (plan.loss.oneWayPeriod == 0) {
+        busy = std::max(busy, plan.loss.oneWayStart + plan.loss.oneWayWidth);
+      } else {
+        busy = std::max(busy, plan.loss.oneWayStart + 3 * plan.loss.oneWayPeriod);
+        recurringPeriod = std::max(recurringPeriod, plan.loss.oneWayPeriod);
+        recurringWidth = std::max(recurringWidth, plan.loss.oneWayWidth);
+      }
+    }
+  }
 
   // Settle margin: enough quiet λ-rounds and message round-trips for the
   // liveness clauses (convergence, commit catch-up, gossip anti-entropy)
   // to be fair assertions, stretched past a few recurring heal gaps.
   Time settle = 4000 + 30 * effDelay + 40 * effTimeout + 3 * recurringPeriod;
+  if (plan.loss.enabled()) {
+    // Stubborn-retransmission tail: a copy dropped right at the loss
+    // boundary still has to climb the capped backoff ladder before its
+    // retransmit lands on the healed network.
+    settle += 16 * (2 * effDelay + effTimeout + 1);
+  }
 
   // The EC driver decides instances sequentially: budget a few delays and
   // λ-steps per instance, inflated by the recurring-partition duty cycle
@@ -345,6 +386,51 @@ std::vector<std::string> planAdmissibilityViolations(const FuzzPlan& plan) {
     if (plan.slowLink.factor < 1 || plan.slowLink.factor > 8) {
       bad("slow link factor must be in [1, 8]");
     }
+  }
+
+  // Fair-lossy layers: fairness means retransmission always wins in the
+  // end — rates stay below the IidLossModel starvation guard, bursts
+  // leave most of each frame clear, the i.i.d./burst layers go quiet,
+  // and one-way cuts heal.
+  if (plan.loss.lossNum > 0) {
+    if (plan.loss.lossDen < 1 || plan.loss.lossNum * 4 > plan.loss.lossDen) {
+      bad("iid loss rate must be <= 1/4 (fair-lossy starvation guard)");
+    }
+  }
+  if (plan.loss.burstPeriod > 0) {
+    if (plan.loss.burstPeriod > kMaxEventTime) {
+      bad("loss burst period must be <= 1e6");
+    }
+    if (plan.loss.burstLen < 1 || 3 * plan.loss.burstLen > plan.loss.burstPeriod) {
+      bad("loss bursts must cover at most a third of each frame");
+    }
+  } else if (plan.loss.burstLen != 0) {
+    bad("loss burstLen needs burstPeriod > 0");
+  }
+  if (plan.loss.lossNum > 0 || plan.loss.burstPeriod > 0) {
+    if (plan.loss.activeUntil < 1 || plan.loss.activeUntil > kMaxEventTime) {
+      bad("lossy layers must go quiet: activeUntil in [1, 1e6]");
+    }
+  } else if (plan.loss.activeUntil != 0) {
+    bad("loss activeUntil needs an iid or burst layer");
+  }
+  if (plan.loss.oneWayFrom != kNoProcess) {
+    if (plan.loss.oneWayFrom >= n) {
+      bad("one-way cut names a process outside the system");
+    }
+    if (plan.loss.oneWayWidth < 1) bad("one-way cut width must be >= 1");
+    if (plan.loss.oneWayPeriod != 0 &&
+        plan.loss.oneWayPeriod <= plan.loss.oneWayWidth) {
+      bad("recurring one-way cut must heal: period > width");
+    }
+    if (plan.loss.oneWayStart > kMaxEventTime ||
+        plan.loss.oneWayWidth > kMaxEventTime ||
+        plan.loss.oneWayPeriod > kMaxEventTime) {
+      bad("one-way cut times must be <= 1e6");
+    }
+  } else if (plan.loss.oneWayStart != 0 || plan.loss.oneWayWidth != 0 ||
+             plan.loss.oneWayPeriod != 0) {
+    bad("one-way cut window needs oneWayFrom");
   }
 
   if (plan.workload.interval < 1 || plan.workload.interval > 100'000) {

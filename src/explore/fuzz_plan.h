@@ -69,6 +69,36 @@ struct PlanSlowLink {
   Time factor = 1;
 };
 
+/// Fair-lossy genome (PR-9). All layers ride the retransmission layer —
+/// a plan with any of them enabled makes the lowered network mayDrop(),
+/// so the simulator arms ReliableLink and delivery stays guaranteed.
+/// Admissibility keeps the loss fair: the i.i.d. rate is capped at 1/4,
+/// bursts cover at most a third of each frame, and the i.i.d./burst
+/// layers must go quiet at `activeUntil` so liveness clauses get a
+/// loss-free tail (one-way cuts are bounded windows already).
+struct PlanLoss {
+  /// I.i.d. per-copy drop probability lossNum/lossDen; 0 disables.
+  std::uint32_t lossNum = 0;
+  std::uint32_t lossDen = 1;
+  /// Gilbert–Elliott frame period; 0 disables the burst layer.
+  Time burstPeriod = 0;
+  Time burstLen = 0;
+  /// Quiet time for the i.i.d. and burst layers (required when either is
+  /// on): drops only hit copies arriving before this.
+  Time activeUntil = 0;
+  /// One-way cut: every send FROM this process inside the window is
+  /// dropped (acks still flow back). kNoProcess disables.
+  ProcessId oneWayFrom = kNoProcess;
+  Time oneWayStart = 0;
+  Time oneWayWidth = 0;
+  /// 0 = one-shot window; else recurring (must heal: period > width).
+  Time oneWayPeriod = 0;
+
+  bool enabled() const {
+    return lossNum > 0 || burstPeriod > 0 || oneWayFrom != kNoProcess;
+  }
+};
+
 /// Broadcast workload shape (ignored by the omega-ec stack).
 struct PlanWorkload {
   Time start = 100;
@@ -103,6 +133,7 @@ struct FuzzPlan {
   /// Either empty (no skew layer) or exactly processCount entries.
   std::vector<PlanSkew> skews;
   PlanSlowLink slowLink;
+  PlanLoss loss;
 
   PlanWorkload workload;
   /// Only meaningful for AlgoStack::kOmegaEc (must be 0 otherwise).
@@ -137,9 +168,17 @@ std::uint64_t derivePlanSeed(std::uint64_t masterSeed, AlgoStack stack,
 /// is 256 for omega-ec and 64 for the broadcast/gossip stacks (whose
 /// per-run cost is protocol-inherent in n), with the workload capped to
 /// a few writers so message volume stays O(writers).
+///
+/// `lossGenome` opts the sampler into the fair-lossy genome (PR-9):
+/// false (the default) draws nothing extra — the legacy plan stream
+/// stays byte-identical. When true, one plan in three gains an i.i.d.
+/// loss layer (rate 1/5..1/16), optionally a Gilbert–Elliott burst
+/// schedule and a one-way outbound cut; all loss draws come AFTER every
+/// legacy draw, so the loss-free prefix of each plan is unchanged too.
 FuzzPlan sampleFuzzPlan(AlgoStack stack, std::uint64_t masterSeed,
                         std::uint64_t runIndex,
-                        std::size_t bigClusterMaxN = 0);
+                        std::size_t bigClusterMaxN = 0,
+                        bool lossGenome = false);
 
 /// The horizon the sampler assigns: last scheduled disturbance (workload
 /// end, crashes, tau_Omega, partition windows) plus a settle margin

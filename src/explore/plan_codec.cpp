@@ -205,6 +205,30 @@ Json encodeFuzzPlan(const FuzzPlan& plan) {
     j.set("slow_link", std::move(slow));
   }
 
+  // Only emitted when the loss genome is active, so every pre-PR-9 plan
+  // keeps its exact legacy encoding — and therefore its fingerprint.
+  if (plan.loss.enabled()) {
+    Json loss = Json::object();
+    if (plan.loss.lossNum > 0) {
+      loss.set("loss_num", Json::number(plan.loss.lossNum));
+      loss.set("loss_den", Json::number(plan.loss.lossDen));
+    }
+    if (plan.loss.burstPeriod > 0) {
+      loss.set("burst_period", Json::number(plan.loss.burstPeriod));
+      loss.set("burst_len", Json::number(plan.loss.burstLen));
+    }
+    if (plan.loss.activeUntil > 0) {
+      loss.set("active_until", Json::number(plan.loss.activeUntil));
+    }
+    if (plan.loss.oneWayFrom != kNoProcess) {
+      loss.set("one_way_from", Json::number(plan.loss.oneWayFrom));
+      loss.set("one_way_start", Json::number(plan.loss.oneWayStart));
+      loss.set("one_way_width", Json::number(plan.loss.oneWayWidth));
+      loss.set("one_way_period", Json::number(plan.loss.oneWayPeriod));
+    }
+    j.set("loss", std::move(loss));
+  }
+
   Json workload = Json::object();
   workload.set("start", Json::number(plan.workload.start));
   workload.set("interval", Json::number(plan.workload.interval));
@@ -238,7 +262,8 @@ std::optional<FuzzPlan> decodeFuzzPlan(const Json& j, std::string* error) {
                      {"schema", "stack", "processes", "sim_seed",
                       "timeout_period", "min_delay", "max_delay", "tau_omega",
                       "omega_mode", "crashes", "partitions", "chaos", "skews",
-                      "slow_link", "workload", "ec_instances", "max_time"},
+                      "slow_link", "loss", "workload", "ec_instances",
+                      "max_time"},
                      "plan", error)) {
     return std::nullopt;
   }
@@ -361,6 +386,40 @@ std::optional<FuzzPlan> decodeFuzzPlan(const Json& j, std::string* error) {
       return std::nullopt;
     }
     plan.slowLink.process = static_cast<ProcessId>(p);
+  } else if (error != nullptr && !error->empty()) {
+    return std::nullopt;
+  }
+
+  if (const Json* loss = r.objectField("loss")) {
+    if (!onlyKnownKeys(*loss,
+                       {"loss_num", "loss_den", "burst_period", "burst_len",
+                        "active_until", "one_way_from", "one_way_start",
+                        "one_way_width", "one_way_period"},
+                       "loss", error)) {
+      return std::nullopt;
+    }
+    Reader lr(*loss, error);
+    std::uint64_t lossNum = 0, lossDen = 1, oneWayFrom = 0;
+    const bool hasOneWay = loss->find("one_way_from") != nullptr;
+    if (!lr.uintField("loss_num", &lossNum, /*required=*/false) ||
+        !lr.uintField("loss_den", &lossDen, /*required=*/false) ||
+        !lr.uintField("burst_period", &plan.loss.burstPeriod,
+                      /*required=*/false) ||
+        !lr.uintField("burst_len", &plan.loss.burstLen, /*required=*/false) ||
+        !lr.uintField("active_until", &plan.loss.activeUntil,
+                      /*required=*/false) ||
+        !lr.uintField("one_way_from", &oneWayFrom, /*required=*/false) ||
+        !lr.uintField("one_way_start", &plan.loss.oneWayStart,
+                      /*required=*/false) ||
+        !lr.uintField("one_way_width", &plan.loss.oneWayWidth,
+                      /*required=*/false) ||
+        !lr.uintField("one_way_period", &plan.loss.oneWayPeriod,
+                      /*required=*/false)) {
+      return std::nullopt;
+    }
+    plan.loss.lossNum = static_cast<std::uint32_t>(lossNum);
+    plan.loss.lossDen = static_cast<std::uint32_t>(lossDen);
+    if (hasOneWay) plan.loss.oneWayFrom = static_cast<ProcessId>(oneWayFrom);
   } else if (error != nullptr && !error->empty()) {
     return std::nullopt;
   }

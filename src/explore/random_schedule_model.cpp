@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/ensure.h"
+#include "sim/lossy_model.h"
 
 namespace wfd {
 
@@ -54,6 +55,37 @@ std::shared_ptr<const NetworkModel> composeFromPlan(const FuzzPlan& plan) {
     stack = std::make_shared<ClockSkewModel>(std::move(stack), std::move(skews));
   }
 
+  // Lossy layers (PR-9) sit between clock skew and partitions, matching
+  // the canonical rank order (partitions > lossy > skew > chaos > base):
+  // drop decisions key on post-skew arrival times, and partitions defer
+  // the copies that survived the loss draw. Innermost-to-outermost:
+  // iid, Gilbert–Elliott bursts, one-way cut.
+  if (plan.loss.lossNum > 0) {
+    IidLossModel::Config loss;
+    loss.num = plan.loss.lossNum;
+    loss.den = plan.loss.lossDen;
+    loss.activeUntil = plan.loss.activeUntil;
+    stack = std::make_shared<IidLossModel>(std::move(stack), loss);
+  }
+  if (plan.loss.burstPeriod > 0) {
+    GilbertElliottLossModel::Config ge;
+    ge.framePeriod = plan.loss.burstPeriod;
+    ge.burstLen = plan.loss.burstLen;
+    ge.seed = plan.simSeed;
+    ge.activeUntil = plan.loss.activeUntil;
+    stack = std::make_shared<GilbertElliottLossModel>(std::move(stack), ge);
+  }
+  if (plan.loss.oneWayFrom != kNoProcess) {
+    WFD_ENSURE(plan.loss.oneWayFrom < n);
+    OutageSpec cut;
+    cut.from = plan.loss.oneWayFrom;
+    cut.start = plan.loss.oneWayStart;
+    cut.width = plan.loss.oneWayWidth;
+    cut.period = plan.loss.oneWayPeriod;
+    stack = std::make_shared<OneWayOutageModel>(
+        std::move(stack), std::vector<OutageSpec>{cut});
+  }
+
   if (!plan.partitions.empty()) {
     std::vector<PartitionSpec> specs;
     specs.reserve(plan.partitions.size());
@@ -82,7 +114,9 @@ std::shared_ptr<const NetworkModel> composeFromPlan(const FuzzPlan& plan) {
 }  // namespace
 
 RandomScheduleModel::RandomScheduleModel(const FuzzPlan& plan)
-    : inner_(composeFromPlan(plan)) {}
+    : inner_(composeFromPlan(plan)) {
+  ensureCanonicalComposition(*inner_);
+}
 
 void RandomScheduleModel::schedule(const LinkSend& send, Rng& rng,
                                    std::vector<Time>& arrivals) const {
@@ -94,6 +128,16 @@ Time RandomScheduleModel::lambdaPeriod(ProcessId p, Time basePeriod) const {
 }
 
 bool RandomScheduleModel::mayDuplicate() const { return inner_->mayDuplicate(); }
+
+bool RandomScheduleModel::mayDrop() const { return inner_->mayDrop(); }
+
+int RandomScheduleModel::compositionRank() const {
+  return inner_->compositionRank();
+}
+
+const NetworkModel* RandomScheduleModel::innerModel() const {
+  return inner_->innerModel();
+}
 
 std::string RandomScheduleModel::name() const {
   return "random[" + inner_->name() + "]";

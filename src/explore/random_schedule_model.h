@@ -5,14 +5,18 @@
 // optional duplication+reordering, optional per-process clock skew,
 // partition windows) is lowered to the decorator stack
 //
-//     PartitionModel( ClockSkewModel( ChaosLinkModel( base ) ) )
+//     PartitionModel( OneWayOutageModel( GilbertElliottLossModel(
+//         IidLossModel( ClockSkewModel( ChaosLinkModel( base ) ) ) ) ) )
 //
-// with PartitionModel outermost, per the composition-order warning in
-// sim/network_model.h (jitter applied outside a partition could move a
-// deferred arrival back inside a later window). Every layer is omitted
-// when the plan disables it, so a fully quiet genome is exactly the
-// legacy UniformDelayModel. Because all randomness still flows through
-// the simulator's Rng, a (plan) value fully determines the run.
+// with PartitionModel outermost, per the canonical rank order in
+// sim/network_model.h (partitions > lossy > clock skew > chaos > base;
+// jitter applied outside a partition could move a deferred arrival back
+// inside a later window, and loss draws key on post-skew arrival
+// times). Every layer is omitted when the plan disables it, so a fully
+// quiet genome is exactly the legacy UniformDelayModel. Because all
+// randomness still flows through the simulator's Rng, a (plan) value
+// fully determines the run; the ctor re-checks the composed stack with
+// ensureCanonicalComposition.
 #pragma once
 
 #include <memory>
@@ -33,6 +37,14 @@ class RandomScheduleModel final : public NetworkModel {
                 std::vector<Time>& arrivals) const override;
   Time lambdaPeriod(ProcessId p, Time basePeriod) const override;
   bool mayDuplicate() const override;
+  /// True iff the plan's loss genome is active — this is what arms the
+  /// simulator's retransmission layer for lossy fuzz plans.
+  bool mayDrop() const override;
+  /// Transparent for composition checking: reports the composed stack's
+  /// outermost rank and chains into it, so ensureCanonicalComposition
+  /// walks the real decorators.
+  int compositionRank() const override;
+  const NetworkModel* innerModel() const override;
   /// "random[<composed stack name>]" — diagnostics show the genome.
   std::string name() const override;
 

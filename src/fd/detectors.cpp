@@ -199,7 +199,7 @@ FdValue ScriptedFd::valueAt(ProcessId p, Time t) const { return script_(p, t); }
 std::string ScriptedFd::name() const { return name_; }
 
 OmegaFromEventuallyPerfect::OmegaFromEventuallyPerfect(
-    std::shared_ptr<const EventuallyPerfectFd> inner, std::size_t processCount)
+    std::shared_ptr<const FailureDetector> inner, std::size_t processCount)
     : inner_(std::move(inner)), processCount_(processCount) {
   WFD_ENSURE(inner_ != nullptr);
 }

@@ -147,18 +147,21 @@ class ScriptedFd final : public FailureDetector {
 /// Derives an Omega history from an eventually-perfect history the
 /// classical way: trust the smallest non-suspected process. Valid because
 /// after ◊P stabilizes, all correct processes compute the same smallest
-/// alive (hence correct) process.
+/// alive (hence correct) process. Accepts ANY suspicion-style detector
+/// whose suspects are sorted and eventually exact — EventuallyPerfectFd,
+/// or the loss-robust ◇P variants in fd/robust_fd.h (heartbeat-derived
+/// Omega re-stabilizing after loss bursts).
 class OmegaFromEventuallyPerfect final : public FailureDetector {
  public:
   explicit OmegaFromEventuallyPerfect(
-      std::shared_ptr<const EventuallyPerfectFd> inner, std::size_t processCount);
+      std::shared_ptr<const FailureDetector> inner, std::size_t processCount);
 
   FdValue valueAt(ProcessId p, Time t) const override;
   std::uint64_t epochAt(ProcessId p, Time t) const override;
   std::string name() const override;
 
  private:
-  std::shared_ptr<const EventuallyPerfectFd> inner_;
+  std::shared_ptr<const FailureDetector> inner_;
   std::size_t processCount_;
 };
 

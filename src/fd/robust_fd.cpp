@@ -1,0 +1,204 @@
+#include "fd/robust_fd.h"
+
+#include <algorithm>
+
+#include "common/ensure.h"
+#include "common/hash.h"
+
+namespace wfd {
+namespace {
+
+bool inAnyWindow(Time t, const std::vector<std::pair<Time, Time>>& windows) {
+  for (const auto& w : windows) {
+    if (t >= w.first && t < w.second) return true;
+  }
+  return false;
+}
+
+Time lastWindowEnd(const std::vector<std::pair<Time, Time>>& windows) {
+  Time end = 0;
+  for (const auto& w : windows) end = std::max(end, w.second);
+  return end;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------- IntervalSuspectFd
+
+void IntervalSuspectFd::init(std::vector<SuspicionHistory> histories) {
+  histories_ = std::move(histories);
+  for (const SuspicionHistory& h : histories_) {
+    Time prevEnd = 0;
+    for (const auto& iv : h.intervals) {
+      WFD_ENSURE_MSG(iv.first < iv.second && iv.first >= prevEnd,
+                     "suspicion intervals must be disjoint, sorted, non-empty");
+      prevEnd = iv.second;
+      boundaries_.push_back(iv.first);
+      boundaries_.push_back(iv.second);
+    }
+    if (h.foreverFrom != FailurePattern::kNever) {
+      boundaries_.push_back(h.foreverFrom);
+    }
+  }
+  std::sort(boundaries_.begin(), boundaries_.end());
+  boundaries_.erase(std::unique(boundaries_.begin(), boundaries_.end()),
+                    boundaries_.end());
+}
+
+bool IntervalSuspectFd::suspectedAt(ProcessId q, Time t) const {
+  const SuspicionHistory& h = histories_[q];
+  if (t >= h.foreverFrom) return true;
+  // Last interval starting at or before t, if any.
+  auto it = std::upper_bound(
+      h.intervals.begin(), h.intervals.end(), t,
+      [](Time v, const std::pair<Time, Time>& iv) { return v < iv.first; });
+  if (it == h.intervals.begin()) return false;
+  --it;
+  return t < it->second;
+}
+
+FdValue IntervalSuspectFd::valueAt(ProcessId p, Time t) const {
+  WFD_ENSURE(p < histories_.size());
+  FdValue v;
+  // Ascending q: suspects stay sorted (OmegaFromEventuallyPerfect
+  // binary-searches them). Like EventuallyPerfectFd, an observer never
+  // FALSELY suspects itself — its own crash (foreverFrom) still counts.
+  for (ProcessId q = 0; q < histories_.size(); ++q) {
+    const bool suspected =
+        q == p ? t >= histories_[q].foreverFrom : suspectedAt(q, t);
+    if (suspected) v.suspects.push_back(q);
+  }
+  return v;
+}
+
+std::uint64_t IntervalSuspectFd::epochAt(ProcessId, Time t) const {
+  // The global suspect set is constant between consecutive boundaries,
+  // so the containing-segment index is a valid observer-independent
+  // epoch (equal epochs => equal values).
+  return static_cast<std::uint64_t>(
+      std::upper_bound(boundaries_.begin(), boundaries_.end(), t) -
+      boundaries_.begin());
+}
+
+Time IntervalSuspectFd::stableFrom(ProcessId q) const {
+  WFD_ENSURE(q < histories_.size());
+  const SuspicionHistory& h = histories_[q];
+  if (h.foreverFrom != FailurePattern::kNever) return FailurePattern::kNever;
+  return h.intervals.empty() ? 0 : h.intervals.back().second;
+}
+
+// --------------------------------------------------------- AdaptiveHeartbeatFd
+
+AdaptiveHeartbeatFd::AdaptiveHeartbeatFd(FailurePattern pattern, Params params)
+    : params_(std::move(params)) {
+  WFD_ENSURE(params_.heartbeatPeriod >= 1);
+  WFD_ENSURE_MSG(params_.initialTimeout > params_.heartbeatPeriod,
+                 "timeout must exceed the heartbeat period");
+  WFD_ENSURE(params_.maxTimeout >= params_.initialTimeout);
+  std::sort(params_.burstWindows.begin(), params_.burstWindows.end());
+  const Time quietFrom = lastWindowEnd(params_.burstWindows);
+
+  std::vector<SuspicionHistory> histories(pattern.size());
+  for (ProcessId q = 0; q < pattern.size(); ++q) {
+    SuspicionHistory& hist = histories[q];
+    hist.foreverFrom = FailurePattern::kNever;
+    const Time crash = pattern.crashTime(q);
+    Time timeout = params_.initialTimeout;
+    Time lastRx = 0;  // the observer arms its timer at time 0
+    for (Time h = 0;; h += params_.heartbeatPeriod) {
+      if (h >= crash) {
+        // q's heartbeats stop forever: suspected once the timer runs out.
+        hist.foreverFrom = lastRx + timeout;
+        break;
+      }
+      if (!inAnyWindow(h, params_.burstWindows)) {
+        if (h > lastRx + timeout) {
+          // The burst ate enough heartbeats to trip the timer: false
+          // suspicion until this reception, then ADAPT — double the
+          // timeout so an equal burst no longer fools the detector.
+          hist.intervals.emplace_back(lastRx + timeout, h);
+          timeout = std::min(timeout * 2, params_.maxTimeout);
+        }
+        lastRx = h;
+        // Past the last burst every future gap is one period < timeout:
+        // the history is settled, stop walking.
+        if (h > quietFrom) break;
+      }
+    }
+  }
+  init(std::move(histories));
+}
+
+std::string AdaptiveHeartbeatFd::name() const {
+  return "<>P-heartbeat(period=" + std::to_string(params_.heartbeatPeriod) +
+         ",timeout=" + std::to_string(params_.initialTimeout) + ".." +
+         std::to_string(params_.maxTimeout) + "," +
+         std::to_string(params_.burstWindows.size()) + " bursts)";
+}
+
+// ----------------------------------------------------------------------SwimFd
+
+SwimFd::SwimFd(FailurePattern pattern, Params params)
+    : params_(std::move(params)) {
+  WFD_ENSURE(params_.probePeriod >= 1);
+  std::sort(params_.burstWindows.begin(), params_.burstWindows.end());
+  const Time quietFrom = lastWindowEnd(params_.burstWindows);
+
+  std::vector<SuspicionHistory> histories(pattern.size());
+  for (ProcessId q = 0; q < pattern.size(); ++q) {
+    SuspicionHistory& hist = histories[q];
+    hist.foreverFrom = FailurePattern::kNever;
+    const Time crash = pattern.crashTime(q);
+    bool suspecting = false;
+    Time suspectFrom = 0;
+    for (Time r = params_.probePeriod;; r += params_.probePeriod) {
+      const bool alive = r < crash;
+      bool success = false;
+      if (alive) {
+        if (!inAnyWindow(r, params_.burstWindows)) {
+          success = true;  // direct probe answered
+        } else {
+          // Direct probe lost in the burst; each indirect relay path
+          // survives with hash-derived odds ~1/4 (some paths route
+          // around the loss) — the SWIM trick that keeps rounds alive
+          // through bursts and one-way cuts that kill direct probes.
+          const std::uint64_t round = r / params_.probePeriod;
+          for (std::uint32_t j = 0; j < params_.indirectRelays; ++j) {
+            if (splitmix64(params_.seed ^ (q * 0x10001ULL) ^
+                           (round * 0x101ULL) ^ (j + 1)) %
+                    4 ==
+                0) {
+              success = true;
+              break;
+            }
+          }
+        }
+      }
+      if (success) {
+        if (suspecting) {
+          hist.intervals.emplace_back(suspectFrom, r);
+          suspecting = false;
+        }
+        if (r > quietFrom) break;  // settled: no more bursts ahead
+      } else if (!suspecting) {
+        suspecting = true;
+        suspectFrom = r;
+      }
+      if (!alive) {
+        // Every future round fails too: suspected forever from the
+        // first unanswered round.
+        hist.foreverFrom = suspectFrom;
+        break;
+      }
+    }
+  }
+  init(std::move(histories));
+}
+
+std::string SwimFd::name() const {
+  return "<>P-swim(period=" + std::to_string(params_.probePeriod) +
+         ",relays=" + std::to_string(params_.indirectRelays) + "," +
+         std::to_string(params_.burstWindows.size()) + " bursts)";
+}
+
+}  // namespace wfd

@@ -1,0 +1,126 @@
+// Loss-robust ◇P oracles: failure detectors whose histories are derived
+// from an explicit message-loss model instead of an abstract
+// stabilization time.
+//
+// The classic oracles (fd/detectors.h) parameterize "when does the
+// detector become accurate" with a single tau. Under bursty loss that is
+// the wrong shape: a heartbeat detector is accurate, then a burst eats
+// its heartbeats and it falsely suspects everyone, then it re-stabilizes
+// — with a LARGER timeout, so the next identical burst no longer fools
+// it. These oracles compute that whole trajectory as a pure function of
+// (pattern, loss windows, params): per-process suspicion intervals are
+// precomputed at construction, making the history observer-independent,
+// deterministic, and cheap to sample (binary search per query).
+//
+// The burst windows are meant to come from the SAME
+// GilbertElliottLossModel the run's network uses
+// (GilbertElliottLossModel::burstWindowsUpTo), so "the detector sees the
+// bursts the network produced" holds by construction.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/failure_pattern.h"
+#include "sim/fd_interface.h"
+
+namespace wfd {
+
+/// Shared machinery: a suspicion-style detector fully described by, per
+/// process q, a sorted list of disjoint false-suspicion intervals
+/// [begin, end) plus an optional time from which q is suspected forever
+/// (its detected crash). valueAt is the same at every observer, so
+/// epochs are observer-independent: the epoch is the index of the
+/// containing segment in the merged boundary list of ALL intervals.
+class IntervalSuspectFd : public FailureDetector {
+ public:
+  FdValue valueAt(ProcessId p, Time t) const override;
+  std::uint64_t epochAt(ProcessId p, Time t) const override;
+
+  /// Earliest time >= from at which q is not suspected and never becomes
+  /// falsely suspected again (kNever when q is suspected forever). Tests
+  /// and the E13 bench use this as the measured re-stabilization time.
+  Time stableFrom(ProcessId q) const;
+
+ protected:
+  struct SuspicionHistory {
+    /// Disjoint, sorted false-suspicion windows [begin, end).
+    std::vector<std::pair<Time, Time>> intervals;
+    /// Suspected forever from here on (crash detection);
+    /// FailurePattern::kNever when q never crashes.
+    Time foreverFrom = 0;
+  };
+
+  /// `histories` must have one entry per process; foreverFrom defaults
+  /// to kNever via init().
+  void init(std::vector<SuspicionHistory> histories);
+
+ private:
+  bool suspectedAt(ProcessId q, Time t) const;
+
+  std::vector<SuspicionHistory> histories_;
+  /// Merged sorted boundary times of every interval and foreverFrom —
+  /// the global suspect SET is constant between consecutive boundaries.
+  std::vector<Time> boundaries_;
+};
+
+/// Heartbeat-based ◇P with an adaptive timeout. Every process sends
+/// heartbeats every `heartbeatPeriod`; a heartbeat is lost when it falls
+/// inside one of `burstWindows` (network-wide loss bursts). The observer
+/// suspects q when the gap since the last received heartbeat exceeds the
+/// current timeout, and doubles the timeout (capped at maxTimeout) after
+/// every false suspicion — so it re-stabilizes after each burst and
+/// bursts shorter than the learned timeout stop fooling it entirely.
+/// Crashed processes are suspected forever once their heartbeats stop
+/// answering (last pre-crash heartbeat + current timeout).
+class AdaptiveHeartbeatFd final : public IntervalSuspectFd {
+ public:
+  struct Params {
+    Time heartbeatPeriod = 50;
+    /// Must be > heartbeatPeriod or everything is suspected always.
+    Time initialTimeout = 150;
+    Time maxTimeout = 4000;
+    /// Loss bursts [begin, end): heartbeats timestamped inside are lost.
+    std::vector<std::pair<Time, Time>> burstWindows;
+  };
+
+  AdaptiveHeartbeatFd(FailurePattern pattern, Params params);
+
+  std::string name() const override;
+
+ private:
+  Params params_;
+};
+
+/// SWIM-style indirect-probe ◇P. Every `probePeriod` the observer probes
+/// q directly; a probe during a loss burst fails. A failed direct probe
+/// falls back to `indirectRelays` relay paths, each succeeding with
+/// deterministic hash-derived odds (some paths route around the burst) —
+/// so rounds usually survive bursts that kill every direct path, which
+/// is exactly the robustness SWIM buys over plain heartbeating and what
+/// makes it resilient to one-way link cuts. q is suspected from a fully
+/// failed round until the next successful one; crashed processes fail
+/// every round and are suspected forever.
+class SwimFd final : public IntervalSuspectFd {
+ public:
+  struct Params {
+    Time probePeriod = 100;
+    std::uint32_t indirectRelays = 3;
+    std::uint64_t seed = 11;
+    /// Loss bursts [begin, end): direct probes inside always fail, relay
+    /// paths survive with probability ~1/4 each (hash-derived).
+    std::vector<std::pair<Time, Time>> burstWindows;
+  };
+
+  SwimFd(FailurePattern pattern, Params params);
+
+  std::string name() const override;
+
+ private:
+  Params params_;
+};
+
+}  // namespace wfd

@@ -1,0 +1,52 @@
+#include "link/reliable_link.h"
+
+#include "common/ensure.h"
+
+namespace wfd {
+
+void ReliableLink::track(std::uint64_t uid, ProcessId from, ProcessId to,
+                         std::uint32_t msgSlot) {
+  WFD_ENSURE(msgSlot != kNoSlot);
+  TxState st;
+  st.msgSlot = msgSlot;
+  st.ends = Endpoints{from, to};
+  st.attempts = 0;
+  st.rto = initialRto_;
+  const bool inserted = pendingTx_.emplace(uid, st).second;
+  WFD_ENSURE_MSG(inserted, "uid tracked twice");
+}
+
+std::uint32_t ReliableLink::acked(std::uint64_t uid) {
+  const auto it = pendingTx_.find(uid);
+  if (it == pendingTx_.end()) return kNoSlot;  // duplicate ack
+  const std::uint32_t slot = it->second.msgSlot;
+  pendingTx_.erase(it);
+  ++acksReceived_;
+  return slot;
+}
+
+const ReliableLink::Endpoints* ReliableLink::peek(std::uint64_t uid) const {
+  const auto it = pendingTx_.find(uid);
+  return it == pendingTx_.end() ? nullptr : &it->second.ends;
+}
+
+std::uint32_t ReliableLink::drain(std::uint64_t uid) {
+  const auto it = pendingTx_.find(uid);
+  WFD_ENSURE_MSG(it != pendingTx_.end(), "draining an untracked uid");
+  const std::uint32_t slot = it->second.msgSlot;
+  pendingTx_.erase(it);
+  ++drained_;
+  return slot;
+}
+
+ReliableLink::Retransmit ReliableLink::retransmitted(std::uint64_t uid) {
+  const auto it = pendingTx_.find(uid);
+  WFD_ENSURE_MSG(it != pendingTx_.end(), "retransmitting an untracked uid");
+  TxState& st = it->second;
+  ++st.attempts;
+  ++retransmissions_;
+  st.rto = nextBackoff(st.rto, rtoCap_);
+  return Retransmit{st.msgSlot, st.rto};
+}
+
+}  // namespace wfd

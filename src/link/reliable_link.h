@@ -1,0 +1,118 @@
+// Stubborn retransmission bookkeeping: the sender half of the reliable
+// link the simulator layers under the automata whenever the network
+// model reports mayDrop() (fair-lossy links, sim/lossy_model.h).
+//
+// Protocol, from the simulator's point of view:
+//  * every data send is track()ed and a retry timer armed at the initial
+//    RTO; the link layer holds one reference on the message envelope so
+//    the payload survives until acked or drained;
+//  * every copy the receiver gets — including duplicates suppressed at
+//    the automaton boundary — triggers an ack back to the sender
+//    (re-acking duplicates is load-bearing: the PREVIOUS ack may have
+//    been the copy the network dropped);
+//  * an ack erases the tx state; the retry timer then finds it gone and
+//    stops (kStale);
+//  * an unacked retry retransmits the same uid (receiver-side dedup makes
+//    redelivery invisible to the automaton) and doubles the RTO up to a
+//    cap — stubborn: it never gives up on a live peer;
+//  * a retry that finds either endpoint crashed DRAINS the state instead
+//    of retransmitting — retransmit buffers are bounded by the failure
+//    detector's horizon, mirroring the PR-8 adoptedBodies_ drain.
+//
+// This class is pure bookkeeping (no clock, no queue, no randomness);
+// the Simulator owns scheduling. Determinism therefore reduces to the
+// caller's, and the backoff policy is exposed as pure helpers so tests
+// can pin the schedule directly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace wfd {
+
+/// Initial retransmission timeout: one full send+ack round trip at the
+/// configured worst-case delay plus a λ-period of slack, so under a
+/// loss-free uniform-delay network the ack always beats the first retry
+/// and the retransmission path schedules nothing (the loss=0 ≡ legacy
+/// differential relies on this).
+inline Time initialRto(Time maxDelay, Time timeoutPeriod) {
+  return 2 * maxDelay + timeoutPeriod + 1;
+}
+
+/// Exponential backoff with a cap: doubles until `cap`, then stays.
+inline Time nextBackoff(Time rto, Time cap) {
+  const Time doubled = rto * 2;
+  return doubled < cap ? doubled : cap;
+}
+
+/// Multiplier applied to the initial RTO to get the backoff cap.
+inline constexpr Time kRtoCapFactor = 16;
+
+/// Sender-side retransmission state for all in-flight uids of one
+/// simulator.
+class ReliableLink {
+ public:
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
+  ReliableLink(Time initialRto, Time rtoCap)
+      : initialRto_(initialRto), rtoCap_(rtoCap) {}
+
+  /// Registers a freshly sent uid. `msgSlot` is the caller's message
+  /// arena slot; the caller must hold one reference on it for the link
+  /// layer, released when acked() or drain() hands the slot back.
+  void track(std::uint64_t uid, ProcessId from, ProcessId to,
+             std::uint32_t msgSlot);
+
+  /// Ack received for `uid`: erases the tx state and returns the message
+  /// slot so the caller can release the link layer's reference, or
+  /// kNoSlot when the uid is unknown (duplicate ack — idempotent).
+  std::uint32_t acked(std::uint64_t uid);
+
+  /// Endpoints of a tracked uid, or nullptr when already acked/drained
+  /// (a stale retry timer). The caller uses this to evaluate crash state
+  /// before choosing drain() or retransmitted().
+  struct Endpoints {
+    ProcessId from;
+    ProcessId to;
+  };
+  const Endpoints* peek(std::uint64_t uid) const;
+
+  /// Drops the tx state of `uid` without retransmitting (an endpoint
+  /// crashed); returns the message slot for the caller to release.
+  std::uint32_t drain(std::uint64_t uid);
+
+  /// Records one retransmission of `uid` and returns the message slot to
+  /// re-schedule plus the delay until the NEXT retry (current RTO after
+  /// backoff doubling).
+  struct Retransmit {
+    std::uint32_t msgSlot;
+    Time nextRetryDelay;
+  };
+  Retransmit retransmitted(std::uint64_t uid);
+
+  Time initialRto() const { return initialRto_; }
+  std::size_t pending() const { return pendingTx_.size(); }
+  std::uint64_t retransmissions() const { return retransmissions_; }
+  std::uint64_t drained() const { return drained_; }
+  std::uint64_t acksReceived() const { return acksReceived_; }
+
+ private:
+  struct TxState {
+    std::uint32_t msgSlot = kNoSlot;
+    Endpoints ends{kNoProcess, kNoProcess};
+    std::uint32_t attempts = 0;
+    Time rto = 0;
+  };
+
+  Time initialRto_;
+  Time rtoCap_;
+  std::unordered_map<std::uint64_t, TxState> pendingTx_;
+  std::uint64_t retransmissions_ = 0;
+  std::uint64_t drained_ = 0;
+  std::uint64_t acksReceived_ = 0;
+};
+
+}  // namespace wfd

@@ -6,6 +6,8 @@
 #include "scenario/scenario.h"
 
 #include "common/ensure.h"
+#include "fd/robust_fd.h"
+#include "sim/lossy_model.h"
 
 namespace wfd {
 
@@ -43,6 +45,38 @@ CheckerSet etobChecks(bool strong = false) {
   c.convergence = true;
   c.requireStrongTob = strong;
   return c;
+}
+
+/// The Gilbert–Elliott burst shape shared by the lossy-burst-* entries:
+/// a ~400-tick burst roughly every other 2000-tick frame, 90% loss
+/// inside, lossless outside, quiet from `activeUntil` on. The SAME
+/// config feeds both the network model and (via burstWindowsOf) the
+/// adaptive failure detectors, so the FD sees exactly the bursts the
+/// network produces.
+GilbertElliottLossModel::Config burstShape(Time activeUntil,
+                                           std::uint64_t seed) {
+  GilbertElliottLossModel::Config c;
+  c.framePeriod = 2000;
+  c.burstNum = 1;
+  c.burstDen = 2;
+  c.burstLen = 400;
+  c.dropInNum = 9;
+  c.dropInDen = 10;
+  c.dropOutNum = 0;
+  c.dropOutDen = 1;
+  c.seed = seed;
+  c.correlated = true;
+  c.activeUntil = activeUntil;
+  return c;
+}
+
+std::vector<std::pair<Time, Time>> burstWindowsOf(
+    const GilbertElliottLossModel::Config& c, Time horizon) {
+  // Any inner model works: the burst schedule is a pure function of the
+  // config (correlated => the link arguments are ignored too).
+  const GilbertElliottLossModel model(
+      std::make_shared<UniformDelayModel>(1, 1), c);
+  return model.burstWindowsUpTo(horizon, 0, 1);
 }
 
 std::vector<Scenario> buildCatalog() {
@@ -386,6 +420,178 @@ std::vector<Scenario> buildCatalog() {
     };
     s.workload = standardWorkload(100, 5);
     s.checks = etobChecks();
+    catalog.push_back(std::move(s));
+  }
+
+  // ---- Fair-lossy links (stubborn retransmission layer engaged) ----
+  //
+  // Every entry here uses a mayDrop() network, so the simulator runs the
+  // full ack/retransmit/dedup machinery beneath the unchanged automata:
+  // throughput degrades, safety must not. Loss is bounded in time
+  // (activeUntil / one-shot windows) so convergence checkers get a clean
+  // tail; the five stacks each appear at least once.
+  {
+    Scenario s;
+    s.name = "lossy-iid-etob";
+    s.description =
+        "n=4, ETOB over i.i.d. 20% per-copy loss on every link until "
+        "t=12000: the retransmission layer recovers every dropped copy "
+        "and the broadcast/convergence checkers hold unchanged.";
+    s.config = baseConfig(4, 30000);
+    s.tauOmega = 1000;
+    s.network = [](const SimConfig& cfg) -> std::shared_ptr<const NetworkModel> {
+      IidLossModel::Config loss;
+      loss.num = 1;
+      loss.den = 5;
+      loss.activeUntil = 12000;
+      return std::make_shared<IidLossModel>(uniformOf(cfg), loss);
+    };
+    s.workload = standardWorkload(100, 6);
+    s.checks = etobChecks();
+    catalog.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "lossy-burst-etob";
+    s.description =
+        "n=4, ETOB through Gilbert-Elliott loss bursts (90% loss in "
+        "~400-tick bursts until t=10000) with Omega DERIVED from an "
+        "adaptive-heartbeat <>P that watches the same bursts: each burst "
+        "splits the leadership, each re-stabilization doubles the "
+        "timeout, and the run still converges.";
+    s.config = baseConfig(4, 30000);
+    s.network = [](const SimConfig& cfg) -> std::shared_ptr<const NetworkModel> {
+      return std::make_shared<GilbertElliottLossModel>(
+          uniformOf(cfg), burstShape(/*activeUntil=*/10000, /*seed=*/42));
+    };
+    s.detector = [](const FailurePattern& fp) {
+      AdaptiveHeartbeatFd::Params hb;
+      hb.heartbeatPeriod = 50;
+      hb.initialTimeout = 150;
+      hb.maxTimeout = 2000;
+      hb.burstWindows = burstWindowsOf(burstShape(10000, 42), 10000);
+      return std::make_shared<OmegaFromEventuallyPerfect>(
+          std::make_shared<AdaptiveHeartbeatFd>(fp, hb), fp.size());
+    };
+    s.workload = standardWorkload(100, 6);
+    s.checks = etobChecks();
+    catalog.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "lossy-burst-commit";
+    s.description =
+        "n=3, committed prefixes through the same Gilbert-Elliott burst "
+        "shape: indications may stall inside bursts but no committed "
+        "prefix is ever revoked, and commits advance once the loss ends.";
+    s.config = baseConfig(3, 30000);
+    s.tauOmega = 500;
+    s.stack = AlgoStack::kCommitEtob;
+    s.network = [](const SimConfig& cfg) -> std::shared_ptr<const NetworkModel> {
+      return std::make_shared<GilbertElliottLossModel>(
+          uniformOf(cfg), burstShape(/*activeUntil=*/8000, /*seed=*/7));
+    };
+    s.workload = standardWorkload(150, 5);
+    s.checks = etobChecks();
+    s.checks.commit = true;
+    s.checks.requireCommitProgress = true;
+    catalog.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "lossy-oneway-tob";
+    s.description =
+        "n=3, consensus-based TOB across a RECURRING one-way cut (p2's "
+        "outbound copies die for 300 of every 1500 ticks, forever) plus "
+        "10% i.i.d. loss until t=10000: retransmissions land in the gaps "
+        "and the total order never forks.";
+    s.config = baseConfig(3, 40000);
+    s.tauOmega = 1000;
+    s.stack = AlgoStack::kTobViaConsensus;
+    s.network = [](const SimConfig& cfg) -> std::shared_ptr<const NetworkModel> {
+      IidLossModel::Config loss;
+      loss.num = 1;
+      loss.den = 10;
+      loss.activeUntil = 10000;
+      auto iid = std::make_shared<IidLossModel>(uniformOf(cfg), loss);
+      OutageSpec cut;
+      cut.start = 600;
+      cut.width = 300;
+      cut.period = 1500;
+      cut.from = 2;  // p2 -> anyone; p2 still hears the world
+      return std::make_shared<OneWayOutageModel>(
+          iid, std::vector<OutageSpec>{cut});
+    };
+    s.workload = standardWorkload(100, 5);
+    s.checks = etobChecks();
+    catalog.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "lossy-oneway-gossip";
+    s.description =
+        "n=4, gossip/LWW with a SWIM-style indirect-probe <>P: two "
+        "one-shot one-way cuts around p3 (outbound [500,1500), inbound "
+        "[2000,3000)) plus 1/8 i.i.d. loss until t=8000 — indirect "
+        "probes keep rounds alive through cuts that kill direct pings, "
+        "and all replicas converge.";
+    s.config = baseConfig(4, 20000);
+    s.stack = AlgoStack::kGossipLww;
+    s.network = [](const SimConfig& cfg) -> std::shared_ptr<const NetworkModel> {
+      IidLossModel::Config loss;
+      loss.num = 1;
+      loss.den = 8;
+      loss.activeUntil = 8000;
+      auto iid = std::make_shared<IidLossModel>(uniformOf(cfg), loss);
+      OutageSpec outbound;
+      outbound.start = 500;
+      outbound.width = 1000;
+      outbound.from = 3;
+      OutageSpec inbound;
+      inbound.start = 2000;
+      inbound.width = 1000;
+      inbound.to = 3;
+      return std::make_shared<OneWayOutageModel>(
+          iid, std::vector<OutageSpec>{outbound, inbound});
+    };
+    s.detector = [](const FailurePattern& fp) {
+      SwimFd::Params swim;
+      swim.probePeriod = 100;
+      swim.indirectRelays = 3;
+      swim.seed = 11;
+      swim.burstWindows = {{500, 1500}, {2000, 3000}};
+      return std::make_shared<SwimFd>(fp, swim);
+    };
+    s.workload = standardWorkload(100, 5);
+    s.workload.lwwPutBodies = true;
+    s.checks.gossipConvergence = true;
+    catalog.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "lossy-gray-ec";
+    s.description =
+        "n=3, Algorithm 4 (EC from Omega) with p2 gray-failed until "
+        "t=8000: its links are 3x slower and drop 1/8 of copies, its "
+        "lambda-steps run at half speed — degraded but correct, so every "
+        "instance must still terminate and agree on a suffix.";
+    s.config = baseConfig(3, 30000);
+    s.tauOmega = 1000;
+    s.stack = AlgoStack::kOmegaEc;
+    s.ecInstances = 40;
+    s.network = [](const SimConfig& cfg) -> std::shared_ptr<const NetworkModel> {
+      GrayFailureModel::Config gray;
+      gray.process = 2;
+      gray.delayNum = 3;
+      gray.delayDen = 1;
+      gray.lambdaNum = 2;
+      gray.lambdaDen = 1;
+      gray.lossNum = 1;
+      gray.lossDen = 8;
+      gray.activeUntil = 8000;
+      return std::make_shared<GrayFailureModel>(uniformOf(cfg), gray);
+    };
+    s.checks.ec = true;
     catalog.push_back(std::move(s));
   }
 

@@ -7,6 +7,28 @@
 
 namespace wfd {
 
+// ------------------------------------------------------------- NetworkModel
+
+int NetworkModel::compositionRank() const { return kRankBase; }
+
+void ensureCanonicalComposition(const NetworkModel& outermost) {
+  const NetworkModel* layer = &outermost;
+  int outerRank = layer->compositionRank();
+  for (const NetworkModel* inner = layer->innerModel(); inner != nullptr;
+       inner = inner->innerModel()) {
+    const int innerRank = inner->compositionRank();
+    WFD_ENSURE_MSG(innerRank <= outerRank,
+                   "non-canonical network model composition: '" +
+                       inner->name() + "' (rank " + std::to_string(innerRank) +
+                       ") is wrapped by '" + layer->name() + "' (rank " +
+                       std::to_string(outerRank) +
+                       ") — decorators must be stacked partitions > lossy > "
+                       "clock-skew > chaos > base, outermost first");
+    layer = inner;
+    outerRank = innerRank;
+  }
+}
+
 // ---------------------------------------------------------- UniformDelayModel
 
 UniformDelayModel::UniformDelayModel(Time minDelay, Time maxDelay, bool fixed)

@@ -8,9 +8,17 @@
 // spells this out in prose):
 //  * every scheduled copy arrives at a finite time >= sentAt + 1
 //    (messages never travel backwards or instantaneously);
-//  * at least one copy of every message is scheduled — links are
-//    reliable: delivery to a live process may be delayed, duplicated at
-//    the network layer or reordered, but never dropped;
+//  * a model with mayDrop() == false must schedule at least one copy of
+//    every message — such links are reliable: delivery to a live process
+//    may be delayed, duplicated at the network layer or reordered, but
+//    never dropped;
+//  * a model with mayDrop() == true may schedule ZERO copies (fair-lossy
+//    links, sim/lossy_model.h), but only under the fairness obligation
+//    that a retransmitted send eventually gets a copy through — the
+//    simulator pairs every mayDrop() model with its stubborn
+//    retransmission layer (link/reliable_link.h), which restores
+//    eventual exactly-once delivery to correct processes, so the run as
+//    a whole stays admissible;
 //  * duplicates are allowed HERE because the simulator suppresses them
 //    at the automaton boundary (each message uid is handed to the target
 //    automaton at most once), preserving the paper's exactly-once step
@@ -20,13 +28,21 @@
 //  * all nondeterminism must come from the Rng argument, making a
 //    (config, pattern, model, seed) tuple fully determine the run.
 //
-// Models compose by decoration: PartitionModel, ChaosLinkModel and
-// ClockSkewModel wrap an inner model and transform its schedule.
-// Composition order matters: a decorator only sees its inner model's
-// output, so when combining partitions with jitter/duplication, put
-// PartitionModel OUTERMOST — a ChaosLinkModel wrapped AROUND a
-// PartitionModel could jitter a deferred arrival back inside a later
-// partition window, silently defeating the partition.
+// Models compose by decoration: PartitionModel, the lossy decorators,
+// ChaosLinkModel and ClockSkewModel wrap an inner model and transform
+// its schedule. Composition order matters: a decorator only sees its
+// inner model's output, so when combining partitions with loss or
+// jitter/duplication, put PartitionModel OUTERMOST — a ChaosLinkModel
+// wrapped AROUND a PartitionModel could jitter a deferred arrival back
+// inside a later partition window, silently defeating the partition,
+// and a lossy layer wrapped AROUND a PartitionModel would sample link
+// loss at post-heal times instead of the schedule the partition
+// actually produced. This is no longer prose-only: every decorator
+// reports a compositionRank() and ensureCanonicalComposition() rejects
+// stacks whose ranks are not non-increasing from the outside in
+// (partitions > lossy layers > clock skew > chaos > base). The builders
+// (RandomScheduleModel, the catalog helpers) call the guard; hand-rolled
+// stacks should too.
 #pragma once
 
 #include <cstdint>
@@ -78,9 +94,43 @@ class NetworkModel {
   /// for duplicate-free models.
   virtual bool mayDuplicate() const { return false; }
 
+  /// True when schedule() may emit ZERO arrivals for some send (fair-lossy
+  /// links). The simulator activates its stubborn retransmission layer for
+  /// any model reporting true — it is a capability bit, not a rate: a
+  /// lossy decorator configured with rate 0 still reports true so the
+  /// retransmission path is engaged (and differentially testable) even
+  /// when no message is ever actually dropped. Decorators must propagate
+  /// the inner model's answer.
+  virtual bool mayDrop() const { return false; }
+
+  /// Composition rank for ensureCanonicalComposition(): decorators must
+  /// be stacked with ranks non-increasing from the outside in. Base
+  /// models rank kRankBase; see the constants below the class.
+  virtual int compositionRank() const;
+
+  /// The decorated inner model, or nullptr for base (non-decorator)
+  /// models. Lets ensureCanonicalComposition() walk the stack.
+  virtual const NetworkModel* innerModel() const { return nullptr; }
+
   /// Human-readable model name for diagnostics and scenario JSON.
   virtual std::string name() const = 0;
 };
+
+/// Composition ranks, outermost-largest. Spaced by 10 so future layers
+/// can slot in without renumbering.
+inline constexpr int kRankBase = 0;
+inline constexpr int kRankChaos = 10;      // duplication / reorder jitter
+inline constexpr int kRankClockSkew = 20;  // λ-period scaling
+inline constexpr int kRankLossy = 30;      // drop decisions (lossy_model.h)
+inline constexpr int kRankPartition = 40;  // deferral past windows
+
+/// Walks the decorator chain of `outermost` via innerModel() and raises
+/// an InvariantError unless compositionRank() is non-increasing from the
+/// outside in. This turns the "partitions OUTERMOST" prose above into an
+/// enforced invariant: loss wrapped around a partition, or chaos wrapped
+/// around loss, is rejected at construction time instead of silently
+/// producing schedules the inner layers never saw.
+void ensureCanonicalComposition(const NetworkModel& outermost);
 
 /// The legacy Simulator policy, bit-for-bit: one copy per send, delayed
 /// uniformly in [minDelay, maxDelay] (exactly maxDelay when fixed). A
@@ -192,6 +242,9 @@ class PartitionModel final : public NetworkModel {
                 std::vector<Time>& arrivals) const override;
   Time lambdaPeriod(ProcessId p, Time basePeriod) const override;
   bool mayDuplicate() const override;
+  bool mayDrop() const override { return inner_->mayDrop(); }
+  int compositionRank() const override { return kRankPartition; }
+  const NetworkModel* innerModel() const override { return inner_.get(); }
   std::string name() const override;
 
  private:
@@ -222,6 +275,9 @@ class ChaosLinkModel final : public NetworkModel {
                 std::vector<Time>& arrivals) const override;
   Time lambdaPeriod(ProcessId p, Time basePeriod) const override;
   bool mayDuplicate() const override { return true; }
+  bool mayDrop() const override { return inner_->mayDrop(); }
+  int compositionRank() const override { return kRankChaos; }
+  const NetworkModel* innerModel() const override { return inner_.get(); }
   std::string name() const override;
 
  private:
@@ -254,6 +310,9 @@ class ClockSkewModel final : public NetworkModel {
                 std::vector<Time>& arrivals) const override;
   Time lambdaPeriod(ProcessId p, Time basePeriod) const override;
   bool mayDuplicate() const override;
+  bool mayDrop() const override { return inner_->mayDrop(); }
+  int compositionRank() const override { return kRankClockSkew; }
+  const NetworkModel* innerModel() const override { return inner_.get(); }
   std::string name() const override;
 
  private:

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/ensure.h"
+#include "common/hash.h"
 
 namespace wfd {
 
@@ -16,7 +17,8 @@ Simulator::Simulator(SimConfig config, FailurePattern pattern,
       rng_(config.seed),
       automata_(config.processCount),
       fdCache_(config.processCount),
-      trace_(config.processCount, config.keepDeliverySnapshots) {
+      trace_(config.processCount, config.keepDeliverySnapshots),
+      linkRng_(splitmix64(config.seed ^ 0x6c696e6b2d726e67ULL)) {
   WFD_ENSURE(config_.processCount >= 2);
   WFD_ENSURE(pattern_.size() == config_.processCount);
   WFD_ENSURE(detector_ != nullptr);
@@ -26,7 +28,16 @@ Simulator::Simulator(SimConfig config, FailurePattern pattern,
     network_ = std::make_shared<UniformDelayModel>(
         config_.minDelay, config_.maxDelay, config_.fixedDelay);
   }
-  if (network_->mayDuplicate()) {
+  ensureCanonicalComposition(*network_);
+  linkActive_ = network_->mayDrop();
+  if (linkActive_) {
+    const Time rto0 = initialRto(config_.maxDelay, config_.timeoutPeriod);
+    link_ = std::make_unique<ReliableLink>(rto0, kRtoCapFactor * rto0);
+  }
+  // Lossy networks reuse the duplicate-suppression set: a retransmitted
+  // uid whose earlier copy already reached the automaton must be
+  // swallowed at the boundary exactly like a chaos-model duplicate.
+  if (network_->mayDuplicate() || linkActive_) {
     deliveredUids_.resize(config_.processCount);
   }
 }
@@ -128,6 +139,98 @@ void Simulator::releaseInputSlot(std::uint32_t slot) {
   freeInputSlots_.push_back(slot);
 }
 
+std::uint32_t Simulator::allocLinkUidSlot(std::uint64_t uid) {
+  if (!freeLinkUidSlots_.empty()) {
+    const std::uint32_t slot = freeLinkUidSlots_.back();
+    freeLinkUidSlots_.pop_back();
+    linkUidArena_[slot] = uid;
+    return slot;
+  }
+  WFD_ENSURE_MSG(linkUidArena_.size() < kNoSlot, "link uid arena exhausted");
+  linkUidArena_.push_back(uid);
+  return static_cast<std::uint32_t>(linkUidArena_.size() - 1);
+}
+
+void Simulator::releaseLinkUidSlot(std::uint32_t slot) {
+  freeLinkUidSlots_.push_back(slot);
+}
+
+void Simulator::scheduleLinkAck(ProcessId receiver, ProcessId sender,
+                                std::uint64_t uid) {
+  // Acks ride the same lossy network as data (and may themselves be
+  // dropped or duplicated — acked() is idempotent), but draw from the
+  // link rng so data scheduling stays on the legacy draw sequence.
+  arrivalScratch_.clear();
+  network_->schedule(LinkSend{receiver, sender, now_, nextAckUid_++},
+                     linkRng_, arrivalScratch_);
+  ++linkAcksScheduled_;
+  for (Time at : arrivalScratch_) {
+    WFD_ENSURE_MSG(at > now_, "network model scheduled a non-causal arrival");
+    EventNode e;
+    e.time = deferPastPartitions(disruptions_, receiver, sender, at);
+    e.kind = EventKind::kLinkAck;
+    e.target = sender;
+    e.slot = allocLinkUidSlot(uid);
+    // No latestScheduledArrival_ update: link-layer traffic is not
+    // pending protocol work, so it must not defer quiescence detection.
+    push(e);
+  }
+}
+
+void Simulator::scheduleLinkRetry(std::uint64_t uid, ProcessId sender,
+                                  Time delay) {
+  EventNode e;
+  e.time = now_ + delay;
+  e.kind = EventKind::kLinkRetry;
+  e.target = sender;
+  e.slot = allocLinkUidSlot(uid);
+  push(e);
+}
+
+void Simulator::handleLinkAck(std::uint32_t uidSlot) {
+  const std::uint64_t uid = linkUidArena_[uidSlot];
+  releaseLinkUidSlot(uidSlot);
+  ++linkAcksDelivered_;
+  const std::uint32_t slot = link_->acked(uid);
+  if (slot != ReliableLink::kNoSlot) releaseMessageSlot(slot);
+}
+
+void Simulator::handleLinkRetry(std::uint32_t uidSlot) {
+  const std::uint64_t uid = linkUidArena_[uidSlot];
+  releaseLinkUidSlot(uidSlot);
+  const ReliableLink::Endpoints* ends = link_->peek(uid);
+  if (ends == nullptr) return;  // already acked or drained — timer is stale
+  if (pattern_.crashed(ends->from, now_) || pattern_.crashed(ends->to, now_)) {
+    // Bounded retransmit buffers: a crashed endpoint drains the state
+    // instead of retransmitting forever (messages to the dead vanish
+    // anyway, and a dead sender sends nothing).
+    releaseMessageSlot(link_->drain(uid));
+    return;
+  }
+  const ProcessId from = ends->from;
+  const ProcessId to = ends->to;
+  const ReliableLink::Retransmit rt = link_->retransmitted(uid);
+  arrivalScratch_.clear();
+  network_->schedule(LinkSend{from, to, now_, uid}, linkRng_, arrivalScratch_);
+  MessageRecord& rec = messageArena_[rt.msgSlot];
+  rec.refs += static_cast<std::uint32_t>(arrivalScratch_.size());
+  for (Time at : arrivalScratch_) {
+    WFD_ENSURE_MSG(at > now_, "network model scheduled a non-causal arrival");
+    EventNode e;
+    e.time = deferPastPartitions(disruptions_, from, to, at);
+    e.kind = EventKind::kMessage;
+    e.target = to;
+    e.slot = rt.msgSlot;
+    // Retransmitted DATA copies are pending protocol work (unlike acks
+    // and retry timers), so they do push the quiescence horizon.
+    latestScheduledArrival_ = std::max(latestScheduledArrival_, e.time);
+    push(e);
+  }
+  // No trace countSend: retransmissions are link-layer traffic, invisible
+  // to the protocol-level trace and its digests.
+  scheduleLinkRetry(uid, from, rt.nextRetryDelay);
+}
+
 void Simulator::ensureStarted() {
   if (started_) return;
   started_ = true;
@@ -152,14 +255,20 @@ void Simulator::applyEffects(ProcessId self, Effects& fx) {
       arrivalScratch_.clear();
       network_->schedule(LinkSend{self, dest, now_, uid}, rng_,
                          arrivalScratch_);
-      WFD_ENSURE_MSG(!arrivalScratch_.empty(),
-                     "network model scheduled no delivery (links are reliable)");
+      if (arrivalScratch_.empty()) {
+        // Only fair-lossy models may drop — and then the retransmission
+        // layer below recovers the send.
+        WFD_ENSURE_MSG(linkActive_,
+                       "network model scheduled no delivery (links are reliable)");
+        ++linkDroppedSends_;
+      }
       if (arrivalScratch_.size() > 1) {
         WFD_ENSURE_MSG(network_->mayDuplicate(),
                        "model emitted duplicates but mayDuplicate() is false");
       }
       // One envelope regardless of how many network-layer copies were
-      // scheduled; the heap nodes all point at it.
+      // scheduled; the heap nodes all point at it. The retransmission
+      // layer holds one extra reference so the payload survives loss.
       const std::uint32_t slot = allocMessageSlot();
       MessageRecord& rec = messageArena_[slot];
       rec.msg.from = self;
@@ -168,7 +277,8 @@ void Simulator::applyEffects(ProcessId self, Effects& fx) {
       rec.msg.sentAt = now_;
       rec.msg.uid = uid;
       rec.msg.duplicated = arrivalScratch_.size() > 1;
-      rec.refs = static_cast<std::uint32_t>(arrivalScratch_.size());
+      rec.refs = static_cast<std::uint32_t>(arrivalScratch_.size()) +
+                 (linkActive_ ? 1u : 0u);
       for (Time at : arrivalScratch_) {
         WFD_ENSURE_MSG(at > now_, "network model scheduled a non-causal arrival");
         EventNode e;
@@ -178,6 +288,10 @@ void Simulator::applyEffects(ProcessId self, Effects& fx) {
         e.slot = slot;
         latestScheduledArrival_ = std::max(latestScheduledArrival_, e.time);
         push(e);
+      }
+      if (linkActive_) {
+        link_->track(uid, self, dest, slot);
+        scheduleLinkRetry(uid, self, link_->initialRto());
       }
       trace_.countSend(out.weight);
     };
@@ -217,6 +331,18 @@ bool Simulator::processOne() {
   ++eventsProcessed_;
   if (e.kind == EventKind::kInput) --pendingInputs_;
 
+  // Link-layer events never reach an automaton, the trace, or the FD
+  // cache — they count toward eventsProcessed_ (runaway guard) and
+  // nothing else.
+  if (e.kind == EventKind::kLinkAck) {
+    handleLinkAck(e.slot);
+    return true;
+  }
+  if (e.kind == EventKind::kLinkRetry) {
+    handleLinkRetry(e.slot);
+    return true;
+  }
+
   const ProcessId p = e.target;
   // Resolve the event body (and release its arena slot) up front; the
   // Payload handle keeps the body alive through the dispatch below.
@@ -230,11 +356,19 @@ bool Simulator::processOne() {
       releaseMessageSlot(e.slot);
       return true;
     }
+    // Ack EVERY received copy — including ones about to be suppressed as
+    // duplicates — because the copy that earned the previous ack may be
+    // exactly the one whose ack the network dropped. A crashed receiver
+    // (handled above) acks nothing; the sender's retry drains instead.
+    if (linkActive_) scheduleLinkAck(p, rec.msg.from, rec.msg.uid);
     // Exactly-once at the automaton boundary: only the first arrival of
     // a multi-copy uid reaches the automaton; later copies are consumed
     // silently. Single-copy messages (the vast majority even under chaos
-    // models) skip the bookkeeping entirely.
-    if (rec.msg.duplicated && !deliveredUids_[p].insert(rec.msg.uid).second) {
+    // models) skip the bookkeeping entirely. With the retransmission
+    // layer active EVERY uid is dedup-tracked: any copy may be
+    // retransmitted later.
+    if ((rec.msg.duplicated || linkActive_) &&
+        !deliveredUids_[p].insert(rec.msg.uid).second) {
       ++duplicatesSuppressed_;
       releaseMessageSlot(e.slot);
       return true;
@@ -281,6 +415,10 @@ bool Simulator::processOne() {
     }
     case EventKind::kInput:
       automata_[p]->onInput(ctx, body, fx);
+      break;
+    case EventKind::kLinkAck:
+    case EventKind::kLinkRetry:
+      WFD_ENSURE_MSG(false, "link events are dispatched before this switch");
       break;
   }
   trace_.countStep(p);

@@ -8,6 +8,19 @@
 // NetworkModel; partition windows only defer delivery, never drop). All
 // nondeterminism is drawn from one seeded Rng, so a (config, pattern,
 // model, seed) tuple fully determines the run.
+//
+// Fair-lossy networks: when the model reports mayDrop(), the simulator
+// activates a stubborn retransmission layer (link/reliable_link.h)
+// beneath the automata — every data send is acked by the receiver and
+// retransmitted with capped exponential backoff until acked or an
+// endpoint crashes, and the receiver-side uid dedup already used for
+// duplicating models makes redelivery invisible to the automaton. Link
+// traffic (acks, retry timers, retransmitted copies) counts toward
+// eventsProcessed/maxEvents but NEVER touches the trace, so trace
+// digests compare across lossy and lossless runs of the same protocol
+// schedule. A separate link Rng keeps retransmission scheduling off the
+// main draw sequence: at loss rate 0 the run is draw-for-draw identical
+// to the legacy reliable path.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +32,7 @@
 
 #include "common/rng.h"
 #include "common/types.h"
+#include "link/reliable_link.h"
 #include "sim/automaton.h"
 #include "sim/failure_pattern.h"
 #include "sim/fd_interface.h"
@@ -154,6 +168,22 @@ class Simulator {
   /// Network-layer duplicates suppressed at the automaton boundary.
   std::uint64_t duplicatesSuppressed() const { return duplicatesSuppressed_; }
 
+  /// Retransmission-layer statistics; all 0 on lossless (mayDrop() ==
+  /// false) networks, where the layer is fully disabled.
+  bool linkLayerActive() const { return linkActive_; }
+  /// Sends for which the lossy model scheduled zero copies (recovered by
+  /// retransmission).
+  std::uint64_t linkDroppedSends() const { return linkDroppedSends_; }
+  std::uint64_t linkRetransmissions() const {
+    return link_ ? link_->retransmissions() : 0;
+  }
+  /// Tx states dropped because an endpoint crashed (bounded-buffer drain).
+  std::uint64_t linkDrained() const { return link_ ? link_->drained() : 0; }
+  std::uint64_t linkAcksScheduled() const { return linkAcksScheduled_; }
+  std::uint64_t linkAcksDelivered() const { return linkAcksDelivered_; }
+  /// In-flight (sent, not yet acked or drained) tracked sends.
+  std::size_t pendingLinkTx() const { return link_ ? link_->pending() : 0; }
+
   /// Application inputs scheduled but not yet handed to their automaton
   /// (quiescence detection: a service with pending inputs is not done).
   std::uint64_t pendingInputs() const { return pendingInputs_; }
@@ -169,7 +199,17 @@ class Simulator {
   Automaton& automaton(ProcessId p) { return *automata_.at(p); }
 
  private:
-  enum class EventKind : std::uint8_t { kMessage, kTimeout, kInput };
+  enum class EventKind : std::uint8_t {
+    kMessage,
+    kTimeout,
+    kInput,
+    /// Link-layer ack arriving at the original sender (slot = link uid
+    /// arena entry holding the acked data uid).
+    kLinkAck,
+    /// Retry timer firing at the sender (slot = link uid arena entry
+    /// holding the data uid to re-check).
+    kLinkRetry,
+  };
 
   /// Slim heap node: what the binary heap actually sifts. The message /
   /// input body lives in a side arena addressed by `slot`, so heap
@@ -205,6 +245,13 @@ class Simulator {
   void releaseMessageSlot(std::uint32_t slot);
   std::uint32_t allocInputSlot(Payload input);
   void releaseInputSlot(std::uint32_t slot);
+  std::uint32_t allocLinkUidSlot(std::uint64_t uid);
+  void releaseLinkUidSlot(std::uint32_t slot);
+  void scheduleLinkAck(ProcessId receiver, ProcessId sender,
+                       std::uint64_t uid);
+  void scheduleLinkRetry(std::uint64_t uid, ProcessId sender, Time delay);
+  void handleLinkAck(std::uint32_t uidSlot);
+  void handleLinkRetry(std::uint32_t uidSlot);
   void applyEffects(ProcessId self, Effects& fx);
   bool processOne();  // false when out of events/limits
   void ensureStarted();
@@ -249,6 +296,23 @@ class Simulator {
   DeliveryHook deliveryHook_;
   OutputHook outputHook_;
   Trace trace_;
+  /// Stubborn retransmission layer, allocated iff network_->mayDrop().
+  /// All link-layer randomness (ack/retransmit scheduling through the
+  /// model) draws from linkRng_, not rng_: the main draw sequence stays
+  /// identical to the legacy reliable path, which is what makes the
+  /// loss=0-with-retry ≡ legacy differential hold bit-for-bit.
+  std::unique_ptr<ReliableLink> link_;
+  Rng linkRng_;
+  bool linkActive_ = false;
+  /// Side arena carrying 64-bit data uids for kLinkAck / kLinkRetry
+  /// events (EventNode.slot is 32-bit). Each event owns its slot and
+  /// frees it when it fires; a retry re-arms with a fresh slot.
+  std::vector<std::uint64_t> linkUidArena_;
+  std::vector<std::uint32_t> freeLinkUidSlots_;
+  std::uint64_t linkAcksScheduled_ = 0;
+  std::uint64_t linkAcksDelivered_ = 0;
+  std::uint64_t linkDroppedSends_ = 0;
+  std::uint64_t nextAckUid_ = 0;
   Time now_ = 0;
   std::uint64_t eventsProcessed_ = 0;
   std::uint64_t duplicatesSuppressed_ = 0;

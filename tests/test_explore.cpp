@@ -141,6 +141,63 @@ TEST(FuzzSamplerTest, BigClusterPlansRunAndSatisfyTheSpecOracle) {
   }
 }
 
+TEST(FuzzSamplerTest, LossGenomeIsOptInAndPrefixPreserving) {
+  for (AlgoStack stack : kStacks) {
+    for (std::uint64_t i = 0; i < 40; ++i) {
+      // Off (and the 4-arg form) reproduces the legacy stream exactly.
+      const FuzzPlan legacy = sampleFuzzPlan(stack, 9, i);
+      EXPECT_FALSE(legacy.loss.enabled());
+      EXPECT_EQ(planFingerprint(legacy),
+                planFingerprint(sampleFuzzPlan(stack, 9, i, 0, false)));
+      // On: the loss draws come after every legacy draw, so stripping the
+      // loss section (and re-deriving the horizon) recovers the legacy
+      // plan bit-for-bit — the loss-free prefix is preserved.
+      FuzzPlan lossy = sampleFuzzPlan(stack, 9, i, 0, true);
+      lossy.loss = PlanLoss{};
+      lossy.maxTime = planHorizon(lossy);
+      EXPECT_EQ(planFingerprint(lossy), planFingerprint(legacy))
+          << algoStackName(stack) << " run " << i;
+    }
+  }
+}
+
+TEST(FuzzSamplerTest, LossGenomeCoversItsLayersAdmissibly) {
+  bool sawIid = false, sawBurst = false, sawOneWay = false, sawQuiet = false;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const FuzzPlan p = sampleFuzzPlan(AlgoStack::kEtob, 1, i, 0, true);
+    const auto violations = planAdmissibilityViolations(p);
+    EXPECT_TRUE(violations.empty()) << "run " << i << ": " << violations.front();
+    sawIid |= p.loss.lossNum > 0;
+    sawBurst |= p.loss.burstPeriod > 0;
+    sawOneWay |= p.loss.oneWayFrom != kNoProcess;
+    sawQuiet |= !p.loss.enabled();
+    if (p.loss.enabled()) {
+      // The sampled horizon must stretch past the loss era plus the
+      // retransmission tail, or liveness clauses would be unfair.
+      EXPECT_GT(p.maxTime, p.loss.activeUntil);
+    }
+  }
+  EXPECT_TRUE(sawIid && sawBurst && sawOneWay && sawQuiet);
+}
+
+TEST(FuzzSamplerTest, LossyPlansRunAndSatisfyTheSpecOracle) {
+  // One sampled lossy plan per stack family runs its full horizon green
+  // through the retransmission layer (the fuzz-level acceptance check).
+  for (AlgoStack stack : {AlgoStack::kEtob, AlgoStack::kOmegaEc}) {
+    for (std::uint64_t i = 0;; ++i) {
+      ASSERT_LT(i, 100u) << "no lossy plan in the first 100 samples";
+      const FuzzPlan p = sampleFuzzPlan(stack, 7, i, 0, true);
+      if (!p.loss.enabled()) continue;
+      const ScenarioRunResult r = runScenario(planScenario(p), p.simSeed);
+      EXPECT_TRUE(r.pass)
+          << algoStackName(stack) << " run " << i << ": "
+          << (r.failures.empty() ? "?" : r.failures.front());
+      EXPECT_NE(r.network.find("loss"), std::string::npos) << r.network;
+      break;
+    }
+  }
+}
+
 TEST(FuzzSamplerTest, TobPlansKeepACorrectMajority) {
   for (std::uint64_t i = 0; i < 100; ++i) {
     const FuzzPlan p = sampleFuzzPlan(AlgoStack::kTobViaConsensus, 11, i);

@@ -183,6 +183,79 @@ TEST(PlanCodecTest, PartitionThatNeverHealsIsInadmissible) {
   EXPECT_NE(error.find("heal"), std::string::npos);
 }
 
+TEST(PlanCodecTest, LossyPlansRoundTripAndLegacyEncodingHasNoLossKey) {
+  // Loss-genome plans round trip canonically; quiet plans must NOT grow
+  // a "loss" section — legacy encodings (and the committed corpus)
+  // predate the genome and stay byte-identical.
+  bool sawLoss = false;
+  for (std::uint64_t i = 0; i < 60 && !sawLoss; ++i) {
+    const FuzzPlan plan =
+        sampleFuzzPlan(AlgoStack::kEtob, 99, i, 0, /*lossGenome=*/true);
+    const std::string dump = encodeFuzzPlan(plan).dump();
+    std::string error;
+    std::optional<FuzzPlan> decoded =
+        decodeFuzzPlan(*Json::parse(dump, &error), &error);
+    ASSERT_TRUE(decoded.has_value()) << error;
+    EXPECT_EQ(encodeFuzzPlan(*decoded).dump(), dump);
+    EXPECT_EQ(planFingerprint(*decoded), planFingerprint(plan));
+    if (plan.loss.enabled()) {
+      sawLoss = true;
+      EXPECT_NE(dump.find("\"loss\""), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(sawLoss) << "window never sampled a lossy plan";
+
+  const FuzzPlan legacy = sampleFuzzPlan(AlgoStack::kEtob, 99, 0);
+  EXPECT_EQ(encodeFuzzPlan(legacy).dump().find("\"loss\""), std::string::npos);
+}
+
+TEST(PlanCodecTest, RejectsUnknownKeyInsideLossSection) {
+  FuzzPlan plan = sampleFuzzPlan(AlgoStack::kEtob, 1, 0);
+  plan.loss.lossNum = 1;
+  plan.loss.lossDen = 8;
+  plan.loss.activeUntil = 5000;
+  plan.maxTime = planHorizon(plan);
+  Json typo = encodeFuzzPlan(plan);
+  Json loss = *typo.find("loss");
+  loss.set("burst_lenght", Json::number(100));
+  typo.set("loss", std::move(loss));
+  std::string error;
+  EXPECT_FALSE(decodeFuzzPlan(typo, &error).has_value());
+  EXPECT_NE(error.find("unknown field"), std::string::npos) << error;
+}
+
+TEST(PlanCodecTest, RejectsInadmissibleLossPlans) {
+  // Starving rate: more than a quarter of copies dropped breaks the
+  // fair-lossy assumption the stubborn layer's liveness rests on.
+  FuzzPlan plan = sampleFuzzPlan(AlgoStack::kEtob, 1, 0);
+  plan.loss.lossNum = 1;
+  plan.loss.lossDen = 3;
+  plan.loss.activeUntil = 5000;
+  plan.maxTime = planHorizon(plan);
+  std::string error;
+  EXPECT_FALSE(decodeFuzzPlan(encodeFuzzPlan(plan), &error).has_value());
+  EXPECT_NE(error.find("fair-lossy"), std::string::npos) << error;
+
+  // A loss layer that never goes quiet is inadmissible in fuzz plans.
+  plan = sampleFuzzPlan(AlgoStack::kEtob, 1, 0);
+  plan.loss.lossNum = 1;
+  plan.loss.lossDen = 8;
+  plan.loss.activeUntil = 0;
+  plan.maxTime = planHorizon(plan);
+  EXPECT_FALSE(decodeFuzzPlan(encodeFuzzPlan(plan), &error).has_value());
+  EXPECT_NE(error.find("quiet"), std::string::npos) << error;
+
+  // A recurring one-way cut with no healing gap starves the link.
+  plan = sampleFuzzPlan(AlgoStack::kEtob, 1, 0);
+  plan.loss.oneWayFrom = 0;
+  plan.loss.oneWayStart = 200;
+  plan.loss.oneWayWidth = 400;
+  plan.loss.oneWayPeriod = 400;
+  plan.maxTime = planHorizon(plan);
+  EXPECT_FALSE(decodeFuzzPlan(encodeFuzzPlan(plan), &error).has_value());
+  EXPECT_NE(error.find("heal"), std::string::npos) << error;
+}
+
 // --- Corpus entries ---------------------------------------------------------
 
 TEST(CorpusCodecTest, EntryRoundTripsAndReplays) {

@@ -61,7 +61,7 @@ void usage(const char* argv0) {
       "       [--oracle spec|strict-tob] [--no-shrink] [--time-budget SEC]\n"
       "       [--corpus-dir DIR]\n"
       "       [--campaign [--jobs N] [--generations N] [--mutations N]\n"
-      "                    [--big-cluster-max-n N]]\n"
+      "                    [--big-cluster-max-n N] [--loss-genome]]\n"
       "       %s --replay <plan-or-corpus.json | corpus-dir>\n"
       "       %s --list-stacks\n",
       argv0, argv0, argv0);
@@ -96,6 +96,7 @@ int main(int argc, char** argv) {
   std::uint64_t generations = 2;
   std::uint64_t mutations = 0;  // 0 = campaign default (runs / 4)
   std::uint64_t bigClusterMaxN = 0;  // 0 = legacy small-n genome only
+  bool lossGenome = false;  // off = legacy loss-free genome only
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -138,6 +139,8 @@ int main(int argc, char** argv) {
       mutations = parseU64("--mutations", next());
     } else if (arg == "--big-cluster-max-n") {
       bigClusterMaxN = parseU64("--big-cluster-max-n", next());
+    } else if (arg == "--loss-genome") {
+      lossGenome = true;
     } else if (arg == "--time-budget") {
       timeBudgetSec = parseU64("--time-budget", next());
     } else if (arg == "--corpus-dir") {
@@ -174,6 +177,11 @@ int main(int argc, char** argv) {
   // byte-identity baseline, so the big-cluster genome is campaign-only.
   if (bigClusterMaxN != 0 && !campaign) {
     std::fprintf(stderr, "--big-cluster-max-n requires --campaign\n");
+    return 2;
+  }
+  // And the same again: the fair-lossy genome is campaign-only.
+  if (lossGenome && !campaign) {
+    std::fprintf(stderr, "--loss-genome requires --campaign\n");
     return 2;
   }
 
@@ -258,6 +266,7 @@ int main(int argc, char** argv) {
       copts.generations = generations;
       copts.mutationsPerGeneration = mutations;
       copts.bigClusterMaxN = static_cast<std::size_t>(bigClusterMaxN);
+      copts.lossGenome = lossGenome;
 
       const wfd::CampaignReport report = wfd::runCampaign(copts, keepGoing);
       totalViolations += report.violations.size();
