@@ -152,12 +152,27 @@ class Client {
 
   /// Replicated KV read; nullopt when absent or unsupported.
   std::optional<std::uint64_t> kvGet(std::uint64_t key) const;
-  /// KV aggregate counters (keys stored / commands or puts applied).
+  /// KV aggregate counters (keys stored / commands or puts applied /
+  /// full state-machine rebuilds after a delivery-sequence rewrite).
+  ///
+  /// These counters are REPLICA-GROUP-LOCAL: they reflect only the keys
+  /// that reached this cluster. In a sharded deployment most keys hash
+  /// to other clusters, so summing one client's kvStats over time
+  /// silently undercounts the service — aggregate across shards through
+  /// ShardedService::stats() (shard/sharded_service.h) instead.
   struct KvStats {
     std::size_t keys = 0;
     std::uint64_t applied = 0;
+    std::uint64_t rebuilds = 0;
   };
   KvStats kvStats() const;
+
+  /// Body of a broadcast message known to this process's ordering layer
+  /// (on a kvReplica cluster: a replicated command, id-addressable from
+  /// delivered()/committedPrefix()). nullptr when the id is unknown here
+  /// or the stack keeps no ordering-layer message store. The pointer is
+  /// invalidated by advancing the cluster.
+  const std::vector<std::uint64_t>* findBody(MsgId id) const;
 
   /// EC decision history of this process (self-proposing stack):
   /// (instance, decided value), in decision order.

@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <initializer_list>
 #include <string_view>
 #include <vector>
 
@@ -22,6 +23,21 @@ inline std::uint64_t fnv1a64(std::string_view bytes) {
   for (unsigned char c : bytes) {
     h ^= c;
     h *= kFnv64Prime;
+  }
+  return h;
+}
+
+/// FNV-1a over a sequence of 64-bit words, each folded byte-by-byte
+/// (little-endian) — the same word mixing scenario/trace_digest.h uses,
+/// exposed for callers that hash a handful of fixed words (the
+/// consistent-hash ring's point and key positions in shard/hash_ring.h).
+inline std::uint64_t fnv1a64Words(std::initializer_list<std::uint64_t> words) {
+  std::uint64_t h = kFnv64OffsetBasis;
+  for (std::uint64_t w : words) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (w >> (8 * i)) & 0xffu;
+      h *= kFnv64Prime;
+    }
   }
   return h;
 }

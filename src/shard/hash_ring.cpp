@@ -1,0 +1,96 @@
+#include "shard/hash_ring.h"
+
+#include <algorithm>
+
+#include "common/ensure.h"
+#include "common/hash.h"
+
+namespace wfd {
+
+namespace {
+
+// Domain tags keep node placements and key positions in disjoint hash
+// families even when a node id happens to equal a key.
+constexpr std::uint64_t kPointTag = 0x706f696e74ULL;  // "point"
+constexpr std::uint64_t kKeyTag = 0x6b6579ULL;        // "key"
+
+}  // namespace
+
+ConsistentHashRing::ConsistentHashRing() : ConsistentHashRing(Config{}) {}
+
+ConsistentHashRing::ConsistentHashRing(Config config)
+    : config_(std::move(config)) {
+  WFD_ENSURE_MSG(config_.virtualNodes > 0,
+                 "a ring needs at least one point per node");
+}
+
+void ConsistentHashRing::addNode(std::uint32_t node) {
+  WFD_ENSURE_MSG(!contains(node), "node is already on the ring");
+  for (std::size_t v = 0; v < config_.virtualNodes; ++v) {
+    // splitmix64 finalizer on top of the FNV fold: raw FNV-1a of short
+    // word streams leaves enough low-bit correlation across consecutive
+    // v that 64 points per node miss the 1.3 max/mean balance bound.
+    const std::uint64_t pos =
+        splitmix64(fnv1a64Words({kPointTag, config_.seed, node, v}));
+    points_.emplace_back(pos, node);
+  }
+  std::sort(points_.begin(), points_.end());
+  nodes_.insert(std::lower_bound(nodes_.begin(), nodes_.end(), node), node);
+}
+
+bool ConsistentHashRing::removeNode(std::uint32_t node) {
+  if (!contains(node)) return false;
+  WFD_ENSURE_MSG(nodes_.size() > 1, "cannot remove the last ring node");
+  points_.erase(std::remove_if(points_.begin(), points_.end(),
+                               [node](const Point& p) {
+                                 return p.second == node;
+                               }),
+                points_.end());
+  nodes_.erase(std::lower_bound(nodes_.begin(), nodes_.end(), node));
+  return true;
+}
+
+bool ConsistentHashRing::contains(std::uint32_t node) const {
+  return std::binary_search(nodes_.begin(), nodes_.end(), node);
+}
+
+std::uint64_t ConsistentHashRing::keyPosition(std::uint64_t key) const {
+  return splitmix64(fnv1a64Words({kKeyTag, config_.seed, key}));
+}
+
+std::uint32_t ConsistentHashRing::ownerOf(std::uint64_t key) const {
+  WFD_ENSURE_MSG(!points_.empty(), "ownerOf on an empty ring");
+  const std::uint64_t pos = keyPosition(key);
+  // First point with position > pos ("clockwise of"), wrapping to the
+  // lowest point past the top of the ring.
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), pos,
+      [](std::uint64_t p, const Point& pt) { return p < pt.first; });
+  if (it == points_.end()) it = points_.begin();
+  return it->second;
+}
+
+std::vector<std::uint32_t> ConsistentHashRing::ownersOf(
+    std::uint64_t key, std::size_t count) const {
+  WFD_ENSURE_MSG(!points_.empty(), "ownersOf on an empty ring");
+  std::vector<std::uint32_t> owners;
+  const std::size_t want = std::min(count, nodes_.size());
+  if (want == 0) return owners;
+  const std::uint64_t pos = keyPosition(key);
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), pos,
+      [](std::uint64_t p, const Point& pt) { return p < pt.first; });
+  // Walk clockwise collecting distinct nodes; one full lap visits every
+  // node, so the loop is bounded by pointCount().
+  for (std::size_t seen = 0; seen < points_.size() && owners.size() < want;
+       ++seen, ++it) {
+    if (it == points_.end()) it = points_.begin();
+    const std::uint32_t node = it->second;
+    if (std::find(owners.begin(), owners.end(), node) == owners.end()) {
+      owners.push_back(node);
+    }
+  }
+  return owners;
+}
+
+}  // namespace wfd

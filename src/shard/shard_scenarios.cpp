@@ -1,0 +1,241 @@
+#include "shard/shard_scenarios.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "api/capabilities.h"
+#include "checkers/commit_checker.h"
+#include "common/ensure.h"
+#include "common/hash.h"
+#include "common/json.h"
+#include "common/strings.h"
+#include "shard/zipf.h"
+
+namespace wfd {
+
+namespace {
+
+// Same scheduler shape the flat catalog uses (catalog.cpp baseConfig):
+// Δ_t = 10, delays in [20, 40].
+SimConfig shardBaseConfig(Time maxTime) {
+  SimConfig cfg;
+  cfg.maxTime = maxTime;
+  cfg.timeoutPeriod = 10;
+  cfg.minDelay = 20;
+  cfg.maxDelay = 40;
+  return cfg;
+}
+
+}  // namespace
+
+ShardScenarioRunResult runShardScenario(const ShardScenario& s,
+                                        std::uint64_t seed) {
+  const ShardWorkload& w = s.workload;
+  WFD_ENSURE_MSG(w.keys > 0, "workload needs a non-empty key space");
+
+  ShardedService svc(s.spec, seed);
+  ShardRouter router(svc);
+
+  UniformKeyGenerator uniform(w.keys, splitmix64(seed ^ 0x776b6c64ULL));
+  ZipfianKeyGenerator zipf(w.keys, w.zipfian ? w.theta : 0.5,
+                           splitmix64(seed ^ 0x776b6c64ULL));
+  const auto nextKey = [&]() { return w.zipfian ? zipf.next() : uniform.next(); };
+
+  std::vector<ShardFault> faults = s.faults;
+  std::stable_sort(faults.begin(), faults.end(),
+                   [](const ShardFault& a, const ShardFault& b) {
+                     return a.at < b.at;
+                   });
+  std::size_t nextFault = 0;
+  const auto injectThrough = [&](Time target) {
+    while (nextFault < faults.size() && faults[nextFault].at <= target) {
+      const ShardFault& f = faults[nextFault++];
+      if (f.at > svc.now()) svc.advanceTo(f.at);
+      if (f.kind == ShardFault::Kind::kCrash) {
+        svc.crashReplica(f.shard, f.replica, svc.now());
+      } else {
+        svc.isolateReplica(f.shard, f.replica, svc.now(), f.until);
+      }
+    }
+  };
+
+  std::vector<std::uint64_t> written;
+  written.reserve(w.puts);
+  for (std::uint64_t i = 0; i < w.puts; ++i) {
+    const Time target = svc.now() + w.interval;
+    injectThrough(target);
+    if (svc.now() < target) svc.advanceTo(target);
+    const std::uint64_t key = nextKey();
+    router.put(key, i + 1);  // values are 1-based op indices — unique
+    written.push_back(key);
+    router.poll();
+    if (w.getEvery != 0 && (i + 1) % w.getEvery == 0) {
+      const std::uint64_t pick =
+          splitmix64(seed ^ (0x67657473ULL + i)) % written.size();
+      router.get(written[pick]);
+    }
+  }
+  injectThrough(s.spec.config.maxTime);
+
+  svc.runUntilQuiescent();
+  router.poll();
+
+  // Final read pass: every distinct written key, ascending.
+  std::sort(written.begin(), written.end());
+  written.erase(std::unique(written.begin(), written.end()), written.end());
+  for (const std::uint64_t key : written) router.get(key);
+
+  ShardScenarioRunResult r;
+  r.scenario = s.name;
+  r.seed = seed;
+  r.stack = algoStackName(s.spec.stack);
+  r.shards = svc.shardCount();
+  r.endTime = svc.now();
+  r.refolds = router.refolds();
+  r.rebalances = svc.rebalances();
+
+  const ShardedKvReport kv = checkShardedKvRun(router.ops());
+  r.puts = kv.puts;
+  r.committedPuts = kv.committedPuts;
+  r.gets = kv.gets;
+  r.successfulGets = kv.successfulGets;
+  if (s.checks.shardedKv) {
+    if (kv.uncommittedReads > 0) r.failures.push_back("sharded_kv: committed-reads");
+    if (kv.monotonicityViolations > 0) r.failures.push_back("sharded_kv: monotone-reads");
+    if (kv.staleReads > 0) r.failures.push_back("sharded_kv: read-your-writes");
+    for (const std::string& e : kv.errors) r.failures.push_back("sharded_kv: " + e);
+  }
+  if (s.checks.commitSafety) {
+    for (std::size_t sh = 0; sh < svc.shardCount(); ++sh) {
+      const CommitCheckReport c = checkCommitSafety(
+          svc.shard(sh).sim().trace(), svc.shard(sh).pattern());
+      if (!c.safetyOk()) {
+        r.failures.push_back("commit: shard " + std::to_string(sh) +
+                             " revoked a committed prefix");
+      }
+    }
+  }
+  if (s.checks.requireProgress && kv.committedPuts == 0) {
+    r.failures.push_back("progress: no put was observed committed");
+  }
+  if (s.checks.requireRebalance && svc.rebalances() == 0) {
+    r.failures.push_back("rebalance: crash schedule re-homed no keys");
+  }
+  r.pass = r.failures.empty();
+  r.digest = shardedRunDigest(svc, router);
+  return r;
+}
+
+std::string toJsonLine(const ShardScenarioRunResult& r) {
+  // Stable key order, same contract as the flat result line
+  // (docs/SCENARIOS.md documents both schemas).
+  std::string out = "{";
+  out += "\"scenario\":" + jsonQuoted(r.scenario);
+  out += ",\"seed\":" + std::to_string(r.seed);
+  out += ",\"pass\":" + std::string(r.pass ? "true" : "false");
+  out += ",\"stack\":" + jsonQuoted(r.stack);
+  out += ",\"shards\":" + std::to_string(r.shards);
+  out += ",\"end_time\":" + std::to_string(r.endTime);
+  out += ",\"puts\":" + std::to_string(r.puts);
+  out += ",\"committed_puts\":" + std::to_string(r.committedPuts);
+  out += ",\"gets\":" + std::to_string(r.gets);
+  out += ",\"successful_gets\":" + std::to_string(r.successfulGets);
+  out += ",\"refolds\":" + std::to_string(r.refolds);
+  out += ",\"rebalances\":" + std::to_string(r.rebalances);
+  out += ",\"digest\":" + jsonQuoted(hex64(r.digest));
+  out += ",\"failures\":[";
+  for (std::size_t i = 0; i < r.failures.size(); ++i) {
+    if (i > 0) out += ",";
+    out += jsonQuoted(r.failures[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+const std::vector<ShardScenario>& shardScenarioCatalog() {
+  static const std::vector<ShardScenario> catalog = [] {
+    std::vector<ShardScenario> entries;
+    {
+      ShardScenario s;
+      s.name = "sharded-uniform-commit";
+      s.description =
+          "S=4 commit-eTOB shards x 3 replicas behind a consistent-hash "
+          "router, uniform keys: every read serves committed state, "
+          "per-shard monotone, read-your-writes after observed commit.";
+      s.spec.shards = 4;
+      s.spec.replicasPerShard = 3;
+      s.spec.stack = AlgoStack::kCommitEtob;
+      s.spec.config = shardBaseConfig(40'000);
+      s.spec.omegaMode = OmegaPreStabilization::kStable;
+      s.workload.puts = 120;
+      s.workload.keys = 64;
+      s.workload.interval = 10;
+      s.workload.getEvery = 4;
+      s.checks.shardedKv = true;
+      s.checks.commitSafety = true;
+      s.checks.requireProgress = true;
+      entries.push_back(std::move(s));
+    }
+    {
+      ShardScenario s;
+      s.name = "sharded-zipf-hotkey";
+      s.description =
+          "S=4 shards under Zipfian(0.99) keys — one hot shard absorbs "
+          "most writes — with split-brain Omega until tau_Omega=400: the "
+          "service stays safe through leader disagreement and commits "
+          "once Omega stabilizes.";
+      s.spec.shards = 4;
+      s.spec.replicasPerShard = 3;
+      s.spec.stack = AlgoStack::kCommitEtob;
+      s.spec.config = shardBaseConfig(40'000);
+      s.spec.tauOmega = 400;
+      s.spec.omegaMode = OmegaPreStabilization::kSplitBrain;
+      s.workload.puts = 120;
+      s.workload.keys = 64;
+      s.workload.zipfian = true;
+      s.workload.theta = 0.99;
+      s.workload.interval = 10;
+      s.workload.getEvery = 4;
+      s.checks.shardedKv = true;
+      s.checks.commitSafety = true;
+      s.checks.requireProgress = true;
+      entries.push_back(std::move(s));
+    }
+    {
+      ShardScenario s;
+      s.name = "sharded-rebalance-crash";
+      s.description =
+          "S=3 shards; shard 1 loses two of three replicas mid-run "
+          "(below majority), is removed from the ring and its keys "
+          "re-home to the survivors; reads stay committed and monotone "
+          "throughout. Read replica 0 is never crashed.";
+      s.spec.shards = 3;
+      s.spec.replicasPerShard = 3;
+      s.spec.stack = AlgoStack::kCommitEtob;
+      s.spec.config = shardBaseConfig(40'000);
+      s.spec.omegaMode = OmegaPreStabilization::kStable;
+      s.workload.puts = 120;
+      s.workload.keys = 48;
+      s.workload.interval = 10;
+      s.workload.getEvery = 4;
+      s.faults.push_back({ShardFault::Kind::kCrash, 1, 1, 600, 0});
+      s.faults.push_back({ShardFault::Kind::kCrash, 1, 2, 620, 0});
+      s.checks.shardedKv = true;
+      s.checks.commitSafety = true;
+      s.checks.requireProgress = true;
+      s.checks.requireRebalance = true;
+      entries.push_back(std::move(s));
+    }
+    return entries;
+  }();
+  return catalog;
+}
+
+const ShardScenario* findShardScenario(const std::string& name) {
+  for (const ShardScenario& s : shardScenarioCatalog()) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace wfd

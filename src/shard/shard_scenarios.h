@@ -1,0 +1,117 @@
+// Declarative catalog of sharded-service scenarios — the sharded
+// analogue of scenario/scenario.h.
+//
+// A Scenario lowers to ONE ClusterSpec, so the flat catalog cannot
+// express a deployment of S independent clusters behind a router; this
+// registry holds the sharded entries instead, and tools/wfd_scenarios
+// merges both catalogs into one CLI namespace (names are unique across
+// the union — check_docs_links.sh audits the docs against the merged
+// --list).
+//
+// A ShardScenario names the deployment (ShardedSpec), a keyed workload
+// (uniform or Zipfian put/get mix, issued through a ShardRouter on a
+// fixed cadence), timed fault events, and the checker clauses to
+// assert. (scenario, seed) fully determines the run — the pinned
+// shardedRunDigest values in tests/test_sharded_kv.cpp hold per
+// standard library, exactly like the flat catalog's digests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "shard/shard_router.h"
+#include "shard/sharded_kv_checker.h"
+#include "shard/sharded_service.h"
+
+namespace wfd {
+
+/// Keyed KV workload issued through the router: one put every
+/// `interval` ticks, a read of an already-written key after every
+/// `getEvery`-th put, and a final read of every written key after the
+/// service settles. Values encode the op index (1-based), so every
+/// (key, value) pair is unique — the identifiability the checker needs.
+struct ShardWorkload {
+  std::uint64_t puts = 160;
+  std::uint64_t keys = 64;
+  /// Key distribution: uniform, or Zipfian(theta) with rank 0 hottest.
+  bool zipfian = false;
+  double theta = 0.99;
+  /// Ticks between consecutive puts.
+  Time interval = 10;
+  /// Issue a get after every getEvery-th put (0 = interleave none;
+  /// the settle-time read pass still runs).
+  std::uint64_t getEvery = 4;
+};
+
+/// A timed fault against one replica of one shard.
+struct ShardFault {
+  enum class Kind : std::uint8_t { kCrash, kIsolate };
+  Kind kind = Kind::kCrash;
+  std::size_t shard = 0;
+  ProcessId replica = 0;
+  Time at = 0;
+  /// kIsolate: partition heals at `until`.
+  Time until = 0;
+};
+
+/// Checker clauses evaluated after the run.
+struct ShardCheckSet {
+  /// checkShardedKvRun over the router op log (committed reads,
+  /// per-(key, shard) monotonicity, read-your-writes).
+  bool shardedKv = true;
+  /// checkCommitSafety on every shard's trace (no revoked prefixes).
+  bool commitSafety = false;
+  /// Require at least one put observed committed (liveness witness).
+  bool requireProgress = false;
+  /// Require the crash schedule to have re-homed keys (rebalances > 0).
+  bool requireRebalance = false;
+};
+
+struct ShardScenario {
+  std::string name;
+  std::string description;
+  ShardedSpec spec;
+  ShardWorkload workload;
+  std::vector<ShardFault> faults;
+  ShardCheckSet checks;
+};
+
+/// Outcome of one (scenario, seed) run — the sharded counterpart of
+/// ScenarioRunResult, serialized by toJsonLine below with the same
+/// stable-key-order contract (docs/SCENARIOS.md).
+struct ShardScenarioRunResult {
+  std::string scenario;
+  std::uint64_t seed = 0;
+  bool pass = false;
+  std::vector<std::string> failures;
+
+  std::string stack;
+  std::size_t shards = 0;
+  Time endTime = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t committedPuts = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t successfulGets = 0;
+  std::uint64_t refolds = 0;
+  std::uint64_t rebalances = 0;
+  /// shardedRunDigest of the settled run (per-shard traces + op log).
+  std::uint64_t digest = 0;
+};
+
+/// Runs the scenario for one seed: builds the service and a router,
+/// issues the workload on its cadence (injecting faults as their times
+/// pass), settles, runs the final read pass, evaluates the check set.
+ShardScenarioRunResult runShardScenario(const ShardScenario& s,
+                                        std::uint64_t seed);
+
+std::string toJsonLine(const ShardScenarioRunResult& r);
+
+/// The sharded catalog (registration order, unique names — also unique
+/// against scenarioCatalog(), which the CLI merge test pins).
+const std::vector<ShardScenario>& shardScenarioCatalog();
+
+/// Catalog lookup; nullptr when the name is unknown.
+const ShardScenario* findShardScenario(const std::string& name);
+
+}  // namespace wfd

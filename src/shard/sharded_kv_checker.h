@@ -1,0 +1,69 @@
+// Verifier for sharded KV runs, over a ShardRouter's op log.
+//
+// The sharded service promises LESS than linearizability and the
+// checker verifies exactly what it promises:
+//
+//  * committed-reads — every successful get returns a value some put
+//    actually wrote to that key THROUGH THE SAME SHARD, and that put was
+//    observed committed no later than the read (the router serves folds
+//    of §7 committed prefixes, never speculative state);
+//  * monotone reads — per (key, shard), the fold version a get reports
+//    never decreases in log order, and equal versions carry equal
+//    values (committed prefixes only extend, so served state never
+//    regresses);
+//  * read-your-writes — once the router has seen a put commit, every
+//    strictly later read of that key on that shard finds a value;
+//  * cross-shard independence is checked OUTSIDE the log: per-shard
+//    trace digests of a partially-faulted run are compared
+//    byte-for-byte against a fault-free run's (tests/test_sharded_kv);
+//    shardedRunDigest below folds per-shard digests and the op log into
+//    one pinnable word for the scenario catalog.
+//
+// The checker assumes all writes go through routers sharing the service
+// and that put (key, value) pairs are unique — the sharded workloads
+// encode the op index in the value, making every write identifiable.
+// Non-unique pairs are reported as an error rather than checked
+// ambiguously.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "shard/shard_router.h"
+#include "shard/sharded_service.h"
+
+namespace wfd {
+
+struct ShardedKvReport {
+  std::size_t puts = 0;
+  std::size_t committedPuts = 0;
+  std::size_t gets = 0;
+  std::size_t successfulGets = 0;
+  /// Successful gets whose value matches no same-shard committed put at
+  /// or before the read.
+  std::uint64_t uncommittedReads = 0;
+  /// Per-(key, shard) fold-version regressions or equal-version value
+  /// changes across gets.
+  std::uint64_t monotonicityViolations = 0;
+  /// Gets that missed a write already observed committed on their shard.
+  std::uint64_t staleReads = 0;
+  std::vector<std::string> errors;
+
+  bool ok() const {
+    return uncommittedReads == 0 && monotonicityViolations == 0 &&
+           staleReads == 0 && errors.empty();
+  }
+};
+
+ShardedKvReport checkShardedKvRun(const std::vector<RouterOp>& ops);
+
+/// One pinnable word for a sharded run: FNV-1a fold of every shard's
+/// traceDigest (in shard order) plus the router op log (kind, key,
+/// value, presence, shard, version per op — times excluded so the
+/// digest pins WHAT was served, commit resolution times are schedule
+/// detail already covered by the trace digests).
+std::uint64_t shardedRunDigest(const ShardedService& service,
+                               const ShardRouter& router);
+
+}  // namespace wfd

@@ -1,0 +1,160 @@
+// Unit and mutation tests for the consistent-hash ring — the routing
+// layer of the sharded KV service. Pins the three properties the
+// sharding design leans on: deterministic placement (every router
+// agrees), balance (no shard hoards the key space), and minimal
+// migration (node churn re-homes only the churned node's share).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/ensure.h"
+#include "shard/hash_ring.h"
+#include "shard/zipf.h"
+
+namespace wfd {
+namespace {
+
+ConsistentHashRing makeRing(std::size_t nodes, std::uint64_t seed,
+                            std::size_t virtualNodes = 64) {
+  ConsistentHashRing ring(ConsistentHashRing::Config{virtualNodes, seed});
+  for (std::size_t n = 0; n < nodes; ++n) {
+    ring.addNode(static_cast<std::uint32_t>(n));
+  }
+  return ring;
+}
+
+constexpr std::uint64_t kKeys = 100'000;
+
+TEST(HashRing, PlacementIsDeterministicPerSeed) {
+  for (std::uint64_t seed : {1ULL, 7ULL, 42ULL}) {
+    const ConsistentHashRing a = makeRing(8, seed);
+    const ConsistentHashRing b = makeRing(8, seed);
+    for (std::uint64_t k = 0; k < 1'000; ++k) {
+      ASSERT_EQ(a.ownerOf(k), b.ownerOf(k)) << "seed " << seed << " key " << k;
+    }
+  }
+}
+
+TEST(HashRing, DistinctSeedsProduceDistinctPlacements) {
+  const ConsistentHashRing a = makeRing(8, 1);
+  const ConsistentHashRing b = makeRing(8, 2);
+  std::size_t moved = 0;
+  for (std::uint64_t k = 0; k < 1'000; ++k) {
+    if (a.ownerOf(k) != b.ownerOf(k)) ++moved;
+  }
+  // Independent placements agree on ~1/8 of keys by chance.
+  EXPECT_GT(moved, 700u);
+}
+
+TEST(HashRing, BalanceBoundAt64VirtualNodes) {
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    for (std::size_t nodes : {2ULL, 4ULL, 8ULL}) {
+      const ConsistentHashRing ring = makeRing(nodes, seed);
+      std::map<std::uint32_t, std::uint64_t> share;
+      for (std::uint64_t k = 0; k < kKeys; ++k) ++share[ring.ownerOf(k)];
+      const double mean = static_cast<double>(kKeys) / nodes;
+      for (const auto& [node, count] : share) {
+        EXPECT_LT(count / mean, 1.3)
+            << "node " << node << " of " << nodes << ", seed " << seed;
+      }
+      EXPECT_EQ(share.size(), nodes);
+    }
+  }
+}
+
+TEST(HashRing, AddNodeMigratesAboutOneOverN) {
+  const std::size_t n = 8;
+  ConsistentHashRing ring = makeRing(n, 3);
+  std::vector<std::uint32_t> before(kKeys);
+  for (std::uint64_t k = 0; k < kKeys; ++k) before[k] = ring.ownerOf(k);
+  ring.addNode(n);
+  std::uint64_t moved = 0;
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    const std::uint32_t owner = ring.ownerOf(k);
+    if (owner != before[k]) {
+      ++moved;
+      // Consistent hashing: a key only ever moves TO the new node.
+      EXPECT_EQ(owner, n);
+    }
+  }
+  // E[moved] = kKeys / (n + 1) ~ 11111; allow generous sampling slack.
+  const double fraction = static_cast<double>(moved) / kKeys;
+  EXPECT_GT(fraction, 0.5 / (n + 1));
+  EXPECT_LT(fraction, 2.0 / (n + 1));
+}
+
+TEST(HashRing, RemoveNodeRehomesExactlyItsKeys) {
+  ConsistentHashRing ring = makeRing(8, 4);
+  std::vector<std::uint32_t> before(kKeys);
+  for (std::uint64_t k = 0; k < kKeys; ++k) before[k] = ring.ownerOf(k);
+  ASSERT_TRUE(ring.removeNode(3));
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    if (before[k] == 3) {
+      EXPECT_NE(ring.ownerOf(k), 3u);
+    } else {
+      // The crash-rebalance guarantee: live shards keep every key.
+      ASSERT_EQ(ring.ownerOf(k), before[k]) << "key " << k;
+    }
+  }
+  EXPECT_FALSE(ring.contains(3));
+  EXPECT_EQ(ring.nodeCount(), 7u);
+  EXPECT_EQ(ring.pointCount(), 7u * 64u);
+}
+
+TEST(HashRing, OwnersOfReturnsDistinctNodesOwnerFirst) {
+  const ConsistentHashRing ring = makeRing(5, 9);
+  for (std::uint64_t k = 0; k < 200; ++k) {
+    const std::vector<std::uint32_t> owners = ring.ownersOf(k, 3);
+    ASSERT_EQ(owners.size(), 3u);
+    EXPECT_EQ(owners[0], ring.ownerOf(k));
+    EXPECT_NE(owners[0], owners[1]);
+    EXPECT_NE(owners[0], owners[2]);
+    EXPECT_NE(owners[1], owners[2]);
+  }
+  // Asking for more replicas than nodes returns every node once.
+  EXPECT_EQ(ring.ownersOf(1, 99).size(), 5u);
+}
+
+TEST(HashRing, MisuseIsRejected) {
+  ConsistentHashRing ring = makeRing(2, 1);
+  EXPECT_THROW(ring.addNode(0), InvariantError);       // re-add
+  EXPECT_FALSE(ring.removeNode(17));                   // absent
+  ASSERT_TRUE(ring.removeNode(0));
+  EXPECT_THROW(ring.removeNode(1), InvariantError);    // last node
+  EXPECT_THROW(ConsistentHashRing(ConsistentHashRing::Config{0, 1}),
+               InvariantError);                        // zero vnodes
+}
+
+// --- Key generators (the workload side of the routing layer) ---------------
+
+TEST(KeyGenerators, UniformIsDeterministicAndCoversTheSpace) {
+  UniformKeyGenerator a(64, 5);
+  UniformKeyGenerator b(64, 5);
+  std::map<std::uint64_t, std::uint64_t> hist;
+  for (int i = 0; i < 6400; ++i) {
+    const std::uint64_t k = a.next();
+    ASSERT_EQ(k, b.next());
+    ASSERT_LT(k, 64u);
+    ++hist[k];
+  }
+  EXPECT_EQ(hist.size(), 64u);
+}
+
+TEST(KeyGenerators, ZipfianIsSkewedTowardRankZero) {
+  ZipfianKeyGenerator gen(64, 0.99, 5);
+  std::map<std::uint64_t, std::uint64_t> hist;
+  for (int i = 0; i < 20'000; ++i) ++hist[gen.next()];
+  // Under Zipf(0.99) over 64 items, rank 0 carries ~21% of the mass —
+  // far above the uniform 1/64, and above every other rank.
+  EXPECT_GT(hist[0], 20'000 / 8);
+  for (const auto& [key, count] : hist) {
+    if (key != 0) {
+      EXPECT_GE(hist[0], count);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wfd
